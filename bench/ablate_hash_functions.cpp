@@ -1,0 +1,54 @@
+// Ablation A3 (paper §IV: "our approach fully supports other hash
+// functions if a better trade-off between performance and collision chance
+// is desired"): google-benchmark throughput of every registered
+// fingerprint function over page-sized chunks.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/rng.hpp"
+#include "hash/hasher.hpp"
+
+namespace {
+
+using namespace collrep;
+
+void BM_Fingerprint(benchmark::State& state) {
+  const auto kind = static_cast<hash::HashKind>(state.range(0));
+  const auto chunk_bytes = static_cast<std::size_t>(state.range(1));
+  const auto& hasher = hash::hasher_for(kind);
+
+  std::vector<std::uint8_t> data(chunk_bytes);
+  apps::SplitMix64 rng(42);
+  rng.fill(data);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.fingerprint(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk_bytes));
+  state.SetLabel(std::string(hash::to_string(kind)));
+}
+
+void RegisterAll() {
+  for (const auto kind : {hash::HashKind::kSha1, hash::HashKind::kXx64,
+                          hash::HashKind::kFnv64, hash::HashKind::kCrc32c}) {
+    for (const std::int64_t chunk : {512, 4096, 65536}) {
+      const std::string name = std::string("BM_Fingerprint/") +
+                               std::string(hash::to_string(kind)) + "/" +
+                               std::to_string(chunk);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Fingerprint)
+          ->Args({static_cast<std::int64_t>(kind), chunk});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

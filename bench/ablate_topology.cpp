@@ -1,0 +1,73 @@
+// Ablation A6 (paper §VI future work: rack/topology-aware partner
+// selection): the load-aware shuffle alone can place replicas on the same
+// node as their origin, which a node loss would take out together; the
+// node-aware repair pass removes those placements.  This bench quantifies
+// both the violation counts and the load-balance cost of the repair.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace collrep;
+  bench::print_header(
+      "Node-aware partner selection: same-node replicas and load balance",
+      "paper SVI future work (rack-awareness / topology)");
+
+  const int n = bench::scaled_ranks(408);
+  std::printf("%4s | %22s | %22s   (%d ranks, 12/node, CM1)\n", "K",
+              "load-aware only", "+ node-aware repair", n);
+  std::printf("%4s | %10s %11s | %10s %11s\n", "", "same-node", "max recv",
+              "same-node", "max recv");
+
+  for (const int k : {2, 3, 4, 6}) {
+    simmpi::RuntimeOptions opts;  // default: 12 ranks per node
+    std::vector<chunk::ChunkStore> stores_a;
+    std::vector<chunk::ChunkStore> stores_b;
+    for (int r = 0; r < n; ++r) {
+      stores_a.emplace_back(chunk::StoreMode::kAccounting);
+      stores_b.emplace_back(chunk::StoreMode::kAccounting);
+    }
+    std::uint32_t viol_a = 0;
+    std::uint32_t viol_b = 0;
+    std::uint64_t recv_a = 0;
+    std::uint64_t recv_b = 0;
+
+    simmpi::Runtime rt(n, opts);
+    rt.run([&](simmpi::Comm& comm) {
+      ftrt::TrackedArena arena(4096);
+      apps::MiniCmConfig mc;
+      apps::MiniCmModel model(comm, arena, mc);
+      (void)model.step(4);
+      const auto snapshot = arena.snapshot();
+
+      core::DumpConfig cfg;
+      cfg.chunk_bytes = 512;
+      cfg.payload_exchange = false;
+      core::Dumper plain(comm, stores_a[static_cast<std::size_t>(comm.rank())],
+                         cfg);
+      const auto sa = plain.dump_output(snapshot, k);
+      cfg.node_aware_partners = true;
+      core::Dumper aware(comm, stores_b[static_cast<std::size_t>(comm.rank())],
+                         cfg);
+      const auto sb = aware.dump_output(snapshot, k);
+
+      const auto ga = core::Dumper::collect(comm, sa);
+      const auto gb = core::Dumper::collect(comm, sb);
+      if (comm.rank() == 0) {
+        viol_a = sa.same_node_partners;
+        viol_b = sb.same_node_partners;
+        recv_a = ga.max_recv_bytes;
+        recv_b = gb.max_recv_bytes;
+      }
+    });
+    std::printf("%4d | %10u %11s | %10u %11s\n", k, viol_a,
+                bench::human_bytes(static_cast<double>(recv_a)).c_str(),
+                viol_b,
+                bench::human_bytes(static_cast<double>(recv_b)).c_str());
+  }
+  std::printf(
+      "\nExpected: the repair drives same-node placements to zero with at\n"
+      "most a modest increase in maximal receive size (it perturbs the\n"
+      "load-aware interleaving locally).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 2: naive vs load-aware partner selection for a
+// replication factor of three.  Six processes; the first two send 100
+// chunks to each partner, the rest send 10.  The paper reports a maximal
+// receive size of 200 for naive selection and 110 after rank shuffling.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+
+int main() {
+  using namespace collrep;
+  bench::print_header("Naive vs load-aware partner selection (toy example)",
+                      "Figure 2");
+
+  constexpr int kN = 6;
+  constexpr int kK = 3;
+  core::SendMatrix load(kN, kK);
+  for (int r = 0; r < kN; ++r) {
+    const std::uint64_t chunks = r < 2 ? 100 : 10;
+    load.at(r, 1) = chunks;
+    load.at(r, 2) = chunks;
+  }
+
+  const auto report = [&](const char* name, const std::vector<int>& shuffle) {
+    const auto recv = core::receive_chunks_per_rank(load, shuffle);
+    std::printf("%-18s shuffle = [", name);
+    for (std::size_t i = 0; i < shuffle.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", shuffle[i] + 1);  // 1-based as paper
+    }
+    std::printf("]  received chunks per rank = [");
+    for (std::size_t i = 0; i < recv.size(); ++i) {
+      std::printf("%s%llu", i ? "," : "",
+                  static_cast<unsigned long long>(recv[i]));
+    }
+    const auto mx = *std::max_element(recv.begin(), recv.end());
+    std::printf("]  max = %llu\n", static_cast<unsigned long long>(mx));
+    return mx;
+  };
+
+  const auto naive_max = report("naive", core::identity_shuffle(kN));
+  const auto smart_max = report("load-aware", core::rank_shuffle(load, kK));
+
+  std::printf("\nPaper: max receive drops from 200 to 110.\n");
+  std::printf("Measured: %llu -> %llu (%s)\n",
+              static_cast<unsigned long long>(naive_max),
+              static_cast<unsigned long long>(smart_max),
+              (naive_max == 200 && smart_max == 110) ? "exact match"
+                                                      : "MISMATCH");
+  return (naive_max == 200 && smart_max == 110) ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 3(b): overhead of the collective hash value reduction
+// for HPCCG with an increasing number of processes (F = 2^17, K in
+// {2, 4, 6}), with local-dedup's scale-independent hashing as baseline.
+#include "fig_common.hpp"
+
+int main() {
+  collrep::bench::print_reduction_overhead(collrep::bench::App::kHpccg,
+                                           "Figure 3(b)");
+  return 0;
+}

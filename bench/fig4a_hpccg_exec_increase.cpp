@@ -1,0 +1,9 @@
+// Reproduces Figure 4(a): HPCCG increase in execution time for replication
+// factors 1..6 at 408 processes (paper baseline: 279 s).
+#include "fig_common.hpp"
+
+int main() {
+  collrep::bench::print_exec_increase(collrep::bench::App::kHpccg,
+                                      "Figure 4(a)", 279.0);
+  return 0;
+}

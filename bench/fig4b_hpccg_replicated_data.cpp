@@ -1,0 +1,9 @@
+// Reproduces Figure 4(b): HPCCG average and maximal amount of replicated
+// data per process for an increasing replication factor (408 processes).
+#include "fig_common.hpp"
+
+int main() {
+  collrep::bench::print_replicated_data(collrep::bench::App::kHpccg,
+                                        "Figure 4(b)");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 4(c): impact of rank shuffling on the maximal receive
+// size for HPCCG (408 processes; paper reports ~8% reduction).
+#include "fig_common.hpp"
+
+int main() {
+  collrep::bench::print_shuffle_impact(collrep::bench::App::kHpccg,
+                                       "Figure 4(c)");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 5(a): CM1 increase in execution time for replication
+// factors 1..6 at 408 processes (paper baseline: 382 s).
+#include "fig_common.hpp"
+
+int main() {
+  collrep::bench::print_exec_increase(collrep::bench::App::kCm1,
+                                      "Figure 5(a)", 382.0);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 5(b): CM1 average and maximal amount of replicated
+// data per process for an increasing replication factor (408 processes).
+#include "fig_common.hpp"
+
+int main() {
+  collrep::bench::print_replicated_data(collrep::bench::App::kCm1,
+                                        "Figure 5(b)");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 5(c): impact of rank shuffling on the maximal receive
+// size for CM1 (408 processes; paper reports a reduction approaching 30%).
+#include "fig_common.hpp"
+
+int main() {
+  collrep::bench::print_shuffle_impact(collrep::bench::App::kCm1,
+                                       "Figure 5(c)");
+  return 0;
+}

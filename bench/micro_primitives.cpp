@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: HMERGE,
+// RANK_SHUFFLE, offset calculation, chunking + local dedup, and the
+// serialization archive — the per-call costs that the simtime model's
+// merge_entry_cost_s / chunk_overhead_s constants approximate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/rng.hpp"
+#include "chunk/dataset.hpp"
+#include "core/fingerprint_set.hpp"
+#include "core/local_dedup.hpp"
+#include "core/planner.hpp"
+#include "hash/hasher.hpp"
+#include "simmpi/archive.hpp"
+
+namespace {
+
+using namespace collrep;
+
+core::BoundedFpSet make_set(int entries, int rank, int nranks, int k) {
+  core::BoundedFpSet s(1u << 17, k, nranks);
+  apps::SplitMix64 rng(static_cast<std::uint64_t>(rank) * 7919 + 13);
+  for (int i = 0; i < entries; ++i) {
+    s.add_local(hash::Fingerprint::from_u64(rng.next()), rank);
+  }
+  s.enforce_f();
+  return s;
+}
+
+void BM_HMerge(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto a = make_set(entries, 0, 4, 3);
+    auto b = make_set(entries, 1, 4, 3);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(a.merge_from(std::move(b)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          entries);
+}
+BENCHMARK(BM_HMerge)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_RankShuffle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::SendMatrix m(n, 4);
+  apps::SplitMix64 rng(7);
+  for (int r = 0; r < n; ++r) {
+    for (int p = 1; p < 4; ++p) m.at(r, p) = rng.next() % 1000;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rank_shuffle(m, 4));
+  }
+}
+BENCHMARK(BM_RankShuffle)->Arg(64)->Arg(408)->Arg(4096);
+
+void BM_OffsetCalc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kK = 4;
+  core::SendMatrix m(n, kK);
+  apps::SplitMix64 rng(11);
+  for (int r = 0; r < n; ++r) {
+    for (int p = 1; p < kK; ++p) m.at(r, p) = rng.next() % 1000;
+  }
+  const auto shuffle = core::rank_shuffle(m, kK);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (int pos = 0; pos < n; ++pos) {
+      for (int p = 1; p < kK; ++p) {
+        sum += core::put_offset_chunks(m, shuffle, pos, p);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_OffsetCalc)->Arg(408);
+
+void BM_LocalDedup(benchmark::State& state) {
+  const auto pages = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> data(pages * 4096);
+  apps::SplitMix64 rng(3);
+  rng.fill(data);
+  // 50% duplicate pages.
+  for (std::size_t p = 1; p < pages; p += 2) {
+    std::copy_n(data.begin(), 4096,
+                data.begin() + static_cast<std::ptrdiff_t>(p * 4096));
+  }
+  chunk::Dataset ds;
+  ds.add_segment(data);
+  const chunk::Chunker chunker(ds, 4096);
+  const auto& hasher = hash::hasher_for(hash::HashKind::kSha1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::local_dedup(chunker, hasher));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_LocalDedup)->Arg(64)->Arg(512);
+
+void BM_FpSetSerialization(benchmark::State& state) {
+  auto s = make_set(static_cast<int>(state.range(0)), 0, 8, 3);
+  for (auto _ : state) {
+    const auto bytes = simmpi::to_bytes(s);
+    benchmark::DoNotOptimize(
+        simmpi::from_bytes<core::BoundedFpSet>(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FpSetSerialization)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

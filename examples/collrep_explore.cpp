@@ -1,0 +1,191 @@
+// collrep_explore: command-line driver for custom what-if runs.
+//
+//   ./build/examples/collrep_explore [options]
+//     --app hpccg|cm1|synth     workload                  (default synth)
+//     --ranks N                 number of ranks           (default 32)
+//     --k K                     replication factor        (default 3)
+//     --strategy full|local|coll                          (default coll)
+//     --chunk BYTES             chunk size                (default 512)
+//     --f LOG2                  top-F threshold, log2     (default 17)
+//     --no-shuffle              disable load-aware rank shuffling
+//     --node-aware              enable topology-aware partners
+//     --cdc                     content-defined chunking
+//     --hash sha1|xx64|fnv64|crc32c                       (default sha1)
+//
+// Prints the full DumpStats roll-up: unique content, traffic, per-phase
+// simulated times, load balance.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/hpccg.hpp"
+#include "apps/minicm.hpp"
+#include "apps/synth.hpp"
+#include "core/collrep.hpp"
+#include "ftrt/tracked_arena.hpp"
+
+using namespace collrep;
+
+namespace {
+
+struct Options {
+  std::string app = "synth";
+  int ranks = 32;
+  int k = 3;
+  core::Strategy strategy = core::Strategy::kCollDedup;
+  std::size_t chunk = 512;
+  std::uint32_t f_log2 = 17;
+  bool shuffle = true;
+  bool node_aware = false;
+  bool cdc = false;
+  hash::HashKind hash = hash::HashKind::kSha1;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf("usage: %s [--app hpccg|cm1|synth] [--ranks N] [--k K]\n"
+              "          [--strategy full|local|coll] [--chunk BYTES]\n"
+              "          [--f LOG2] [--no-shuffle] [--node-aware] [--cdc]\n"
+              "          [--hash sha1|xx64|fnv64|crc32c]\n",
+              argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      opt.app = value();
+    } else if (arg == "--ranks") {
+      opt.ranks = std::atoi(value().c_str());
+    } else if (arg == "--k") {
+      opt.k = std::atoi(value().c_str());
+    } else if (arg == "--strategy") {
+      const auto s = value();
+      opt.strategy = s == "full"    ? core::Strategy::kNoDedup
+                     : s == "local" ? core::Strategy::kLocalDedup
+                     : s == "coll"  ? core::Strategy::kCollDedup
+                                    : (usage(argv[0]), core::Strategy::kCollDedup);
+    } else if (arg == "--chunk") {
+      opt.chunk = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--f") {
+      opt.f_log2 = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (arg == "--no-shuffle") {
+      opt.shuffle = false;
+    } else if (arg == "--node-aware") {
+      opt.node_aware = true;
+    } else if (arg == "--cdc") {
+      opt.cdc = true;
+    } else if (arg == "--hash") {
+      opt.hash = hash::parse_hash_kind(value());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.ranks < 1 || opt.k < 1 || opt.chunk == 0) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  std::vector<chunk::ChunkStore> stores;
+  for (int r = 0; r < opt.ranks; ++r) {
+    stores.emplace_back(chunk::StoreMode::kAccounting);
+  }
+
+  core::DumpStats rank0{};
+  core::GlobalDumpStats global{};
+
+  simmpi::Runtime runtime(opt.ranks);
+  runtime.run([&](simmpi::Comm& comm) {
+    ftrt::TrackedArena arena(4096);
+    chunk::Dataset dataset;
+    std::vector<std::uint8_t> synth_data;
+
+    if (opt.app == "hpccg") {
+      apps::HpccgConfig cfg;
+      cfg.nx = cfg.ny = cfg.nz = 12;
+      apps::HpccgSolver solver(comm, arena, cfg);
+      (void)solver.iterate(5);
+      dataset = arena.snapshot();
+    } else if (opt.app == "cm1") {
+      apps::MiniCmConfig cfg;
+      apps::MiniCmModel model(comm, arena, cfg);
+      (void)model.step(5);
+      dataset = arena.snapshot();
+    } else if (opt.app == "synth") {
+      apps::SynthSpec spec;
+      spec.chunk_bytes = opt.chunk;
+      spec.chunks = 128;
+      spec.local_dup = 0.25;
+      spec.global_shared = 0.5;
+      synth_data = apps::synth_dataset(comm.rank(), opt.ranks, spec);
+      dataset.add_segment(synth_data);
+    } else {
+      throw std::invalid_argument("unknown --app " + opt.app);
+    }
+
+    core::DumpConfig cfg;
+    cfg.strategy = opt.strategy;
+    cfg.chunk_bytes = opt.chunk;
+    cfg.threshold_f = 1u << opt.f_log2;
+    cfg.rank_shuffle = opt.shuffle;
+    cfg.node_aware_partners = opt.node_aware;
+    cfg.hash_kind = opt.hash;
+    cfg.payload_exchange = false;
+    if (opt.cdc) {
+      cfg.chunking = core::ChunkingMode::kContentDefined;
+      cfg.cdc.max_bytes = opt.chunk * 4;
+      cfg.cdc.avg_bytes = opt.chunk;
+      cfg.cdc.min_bytes = std::max<std::size_t>(16, opt.chunk / 4);
+    }
+
+    core::Dumper dumper(comm, stores[static_cast<std::size_t>(comm.rank())],
+                        cfg);
+    const auto stats = dumper.dump_output(dataset, opt.k);
+    const auto g = core::Dumper::collect(comm, stats);
+    if (comm.rank() == 0) {
+      rank0 = stats;
+      global = g;
+    }
+  });
+
+  std::printf("app=%s ranks=%d K=%d strategy=%s chunk=%zu F=2^%u shuffle=%d "
+              "node_aware=%d cdc=%d hash=%s\n",
+              opt.app.c_str(), opt.ranks, opt.k,
+              std::string(core::to_string(opt.strategy)).c_str(), opt.chunk,
+              opt.f_log2, opt.shuffle ? 1 : 0, opt.node_aware ? 1 : 0,
+              opt.cdc ? 1 : 0, std::string(hash::to_string(opt.hash)).c_str());
+  std::printf("dataset total:        %.3f MB\n",
+              global.total_dataset_bytes / 1e6);
+  std::printf("unique content:       %.3f MB (%.1f%%)\n",
+              global.total_unique_bytes / 1e6,
+              100.0 * global.total_unique_bytes /
+                  std::max<std::uint64_t>(1, global.total_dataset_bytes));
+  std::printf("replication traffic:  %.3f MB total, avg %.3f MB/rank, "
+              "max %.3f MB/rank\n",
+              global.total_sent_bytes / 1e6, global.avg_sent_bytes / 1e6,
+              global.max_sent_bytes / 1e6);
+  std::printf("max receive:          %.3f MB/rank\n",
+              global.max_recv_bytes / 1e6);
+  std::printf("stored on devices:    %.3f MB\n",
+              global.total_stored_bytes / 1e6);
+  std::printf("same-node partners:   %u\n", rank0.same_node_partners);
+  std::printf("completion (sim):     %.6f s\n", global.completion_time_s);
+  std::printf("  hash      %.6f s\n", global.max_phases.hash_s);
+  std::printf("  reduction %.6f s (global view: %u fingerprints)\n",
+              global.max_phases.reduction_s, rank0.gview_entries);
+  std::printf("  planning  %.6f s\n", global.max_phases.planning_s);
+  std::printf("  exchange  %.6f s\n", global.max_phases.exchange_s);
+  std::printf("  storage   %.6f s\n", global.max_phases.storage_s);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: the paper's Figure-1 scenario in code.
+//
+// Three processes dump related datasets with replication factor K = 3.
+// Chunks that already exist on K other processes become "natural
+// replicas" and are not transferred; chunks below K copies are topped up;
+// everything is restorable afterwards, even with K-1 failed stores.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "apps/rng.hpp"
+#include "core/collrep.hpp"
+
+using namespace collrep;
+
+namespace {
+
+// Rank-local dataset: the first half of the pages is identical on every
+// rank (think: weak-scaled solver matrix), the second half is private.
+std::vector<std::uint8_t> make_dataset(int rank) {
+  constexpr std::size_t kPages = 8;
+  constexpr std::size_t kPageBytes = 4096;
+  std::vector<std::uint8_t> data(kPages * kPageBytes);
+  for (std::size_t page = 0; page < kPages; ++page) {
+    const bool shared = page < kPages / 2;
+    // Shared pages have rank-independent content; private pages differ.
+    apps::SplitMix64 rng(shared ? page + 1
+                                : page + 1 + 1000 * static_cast<std::size_t>(
+                                                       rank + 1));
+    rng.fill({data.data() + page * kPageBytes, kPageBytes});
+  }
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRanks = 3;
+  constexpr int kReplication = 3;
+
+  // One content-addressed store per rank = one local storage device.
+  std::vector<chunk::ChunkStore> stores(kRanks);
+  std::vector<std::vector<std::uint8_t>> originals(kRanks);
+
+  simmpi::Runtime runtime(kRanks);
+  runtime.run([&](simmpi::Comm& comm) {
+    const int rank = comm.rank();
+    originals[rank] = make_dataset(rank);
+
+    chunk::Dataset dataset;
+    dataset.add_segment(originals[rank]);
+
+    core::DumpConfig config;       // coll-dedup, SHA1, 4 KB chunks, F = 2^17
+    core::Dumper dumper(comm, stores[rank], config);
+
+    // The collective write primitive from the paper: DUMP_OUTPUT(buf, K).
+    const core::DumpStats stats = dumper.dump_output(dataset, kReplication);
+
+    const auto global = core::Dumper::collect(comm, stats);
+    if (rank == 0) {
+      std::printf("dumped %s across %d ranks (K = %d)\n",
+                  std::to_string(global.total_dataset_bytes).c_str(), kRanks,
+                  kReplication);
+      std::printf("globally unique content: %llu bytes (%.0f%% of raw)\n",
+                  static_cast<unsigned long long>(global.total_unique_bytes),
+                  100.0 * global.total_unique_bytes /
+                      global.total_dataset_bytes);
+      std::printf("replication traffic:     %llu bytes\n",
+                  static_cast<unsigned long long>(global.total_sent_bytes));
+      std::printf("simulated dump time:     %.6f s\n",
+                  global.completion_time_s);
+    }
+    std::printf("rank %d: %llu chunks, %llu locally unique, "
+                "%llu discarded as natural replicas\n",
+                rank, static_cast<unsigned long long>(stats.chunk_count),
+                static_cast<unsigned long long>(stats.local_unique_chunks),
+                static_cast<unsigned long long>(stats.discarded_chunks));
+  });
+
+  // A node dies; every rank can still restore byte-exactly.
+  stores[1].fail();
+  std::vector<chunk::ChunkStore*> store_ptrs;
+  for (auto& s : stores) store_ptrs.push_back(&s);
+  for (int rank = 0; rank < kRanks; ++rank) {
+    const auto restored = core::restore_rank(store_ptrs, rank);
+    if (restored.segments.at(0) != originals[rank]) {
+      std::printf("rank %d: RESTORE MISMATCH\n", rank);
+      return 1;
+    }
+  }
+  std::printf("all %d ranks restored byte-exactly with 1 failed store\n",
+              kRanks);
+  return 0;
+}

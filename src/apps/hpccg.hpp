@@ -1,0 +1,76 @@
+// Mini-HPCCG: a weak-scaling conjugate-gradient benchmark on a 27-point
+// finite-difference stencil, reimplementing the Mantevo HPCCG mini-app the
+// paper checkpoints (§V-B1).
+//
+// Each rank owns an nx*ny*nz sub-block of a 3D chimney domain stacked
+// along z.  The sparse matrix (CSR) is generated exactly like HPCCG's
+// generate_matrix: 27.0 on the diagonal, -1.0 for the up-to-26 neighbours.
+// The solve runs real CG iterations; dot products are global (allreduce),
+// the matvec is sub-block local (the paper-relevant property is the memory
+// image, not halo accuracy — see DESIGN.md §1).
+//
+// Redundancy profile (what makes it a dedup workload): in weak scaling the
+// CSR values and column indices are identical on every rank (natural
+// cross-rank duplicates), while b/x/r/p/Ap depend on global coordinates
+// and iteration history (rank-unique pages).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ftrt/tracked_arena.hpp"
+#include "simmpi/comm.hpp"
+
+namespace collrep::apps {
+
+struct HpccgConfig {
+  int nx = 24;
+  int ny = 24;
+  int nz = 24;
+  int max_iters = 127;  // paper: 127 CG iterations
+};
+
+class HpccgSolver {
+ public:
+  // Allocates the problem from `arena` so ftrt can checkpoint it.
+  HpccgSolver(simmpi::Comm& comm, ftrt::TrackedArena& arena,
+              const HpccgConfig& config);
+
+  // Runs `iters` CG iterations (collective), charging simulated solver
+  // time; returns the global residual norm after the last iteration.
+  double iterate(int iters);
+
+  [[nodiscard]] int iterations_done() const noexcept { return iters_done_; }
+  [[nodiscard]] std::uint64_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] std::uint64_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] std::span<const double> solution() const noexcept {
+    return x_;
+  }
+
+ private:
+  void generate_problem();
+  void matvec(std::span<const double> in, std::span<double> out) const;
+  [[nodiscard]] double dot(std::span<const double> a,
+                           std::span<const double> b) const;
+
+  simmpi::Comm& comm_;
+  HpccgConfig config_;
+  std::uint64_t nrows_ = 0;
+  std::uint64_t nnz_ = 0;
+  int iters_done_ = 0;
+  bool cg_initialized_ = false;
+  double rtrans_ = 0.0;
+
+  // CSR matrix + CG vectors, all arena-resident (checkpointable).
+  std::span<double> vals_;
+  std::span<std::int32_t> col_idx_;
+  std::span<std::int32_t> row_off_;   // fixed stride: row i starts at 27*i
+  std::span<std::int32_t> row_nnz_;   // filled entries per row
+  std::span<double> x_;
+  std::span<double> b_;
+  std::span<double> r_;
+  std::span<double> p_;
+  std::span<double> ap_;
+};
+
+}  // namespace collrep::apps

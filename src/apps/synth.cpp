@@ -1,0 +1,77 @@
+#include "apps/synth.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "apps/rng.hpp"
+
+namespace collrep::apps {
+
+namespace {
+
+bool is_heavy(int rank, int nranks, const SynthSpec& spec) {
+  const auto heavy_count = static_cast<int>(
+      spec.heavy_rank_fraction * nranks + 0.999999);
+  return rank < heavy_count;
+}
+
+void fill_chunk(std::span<std::uint8_t> out, std::uint64_t stream_seed) {
+  SplitMix64 rng(stream_seed);
+  rng.fill(out);
+}
+
+}  // namespace
+
+std::size_t synth_chunk_count(int rank, int nranks, const SynthSpec& spec) {
+  if (is_heavy(rank, nranks, spec)) {
+    return static_cast<std::size_t>(
+        static_cast<double>(spec.chunks) * spec.heavy_multiplier);
+  }
+  return spec.chunks;
+}
+
+std::vector<std::uint8_t> synth_dataset(int rank, int nranks,
+                                        const SynthSpec& spec) {
+  if (spec.chunk_bytes == 0) {
+    throw std::invalid_argument("synth: chunk_bytes must be positive");
+  }
+  const std::size_t count = synth_chunk_count(rank, nranks, spec);
+  std::vector<std::uint8_t> data(count * spec.chunk_bytes);
+
+  SplitMix64 category_rng(mix_seed(spec.seed, 0xC47E607Bull,
+                                   static_cast<std::uint64_t>(rank)));
+  const std::size_t heavy_extra =
+      count > spec.chunks ? count - spec.chunks : 0;
+
+  for (std::size_t c = 0; c < count; ++c) {
+    std::span<std::uint8_t> out{data.data() + c * spec.chunk_bytes,
+                                spec.chunk_bytes};
+    // Extra chunks on heavy ranks are always rank-unique (the skew is in
+    // *unique* data, like the 90 extra chunks in the paper's Fig. 2).
+    const bool forced_unique = c >= count - heavy_extra;
+    const double roll = category_rng.next_double();
+
+    if (!forced_unique && c > 0 && roll < spec.local_dup) {
+      // Repeat an earlier local chunk.
+      const auto src = static_cast<std::size_t>(
+          category_rng.next() % static_cast<std::uint64_t>(c));
+      std::memcpy(out.data(), data.data() + src * spec.chunk_bytes,
+                  spec.chunk_bytes);
+    } else if (!forced_unique &&
+               roll < spec.local_dup + (1.0 - spec.local_dup) *
+                                           spec.global_shared) {
+      // Draw from the global pool: identical bytes on every rank that
+      // draws the same pool id.
+      const auto pool_id =
+          category_rng.next() % std::max<std::uint32_t>(1, spec.global_pool);
+      fill_chunk(out, mix_seed(spec.seed, 0x6104A11Dull, pool_id));
+    } else {
+      fill_chunk(out, mix_seed(spec.seed ^ 0x5EEDull,
+                               static_cast<std::uint64_t>(rank),
+                               static_cast<std::uint64_t>(c)));
+    }
+  }
+  return data;
+}
+
+}  // namespace collrep::apps

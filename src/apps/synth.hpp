@@ -1,0 +1,42 @@
+// Synthetic workload generator with exact redundancy knobs.
+//
+// The real mini-apps produce *natural* redundancy; this generator produces
+// *controlled* redundancy so tests and ablations can dial in a target
+// local-duplicate fraction, a cross-rank shared fraction, and a send-load
+// skew (the Fig. 2 scenario: a few heavy ranks, many light ones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace collrep::apps {
+
+struct SynthSpec {
+  std::size_t chunk_bytes = 4096;
+  std::size_t chunks = 256;  // baseline chunks per rank
+
+  // Fraction of chunks that repeat an earlier chunk of the same rank.
+  double local_dup = 0.25;
+  // Fraction of the remaining chunks drawn from a global pool shared by
+  // all ranks (the "naturally distributed duplicates").
+  double global_shared = 0.5;
+  std::uint32_t global_pool = 1024;  // distinct shared contents
+
+  // The first ceil(heavy_rank_fraction * nranks) ranks carry
+  // heavy_multiplier times the baseline chunk count, all of it unique.
+  double heavy_rank_fraction = 0.0;
+  double heavy_multiplier = 1.0;
+
+  std::uint64_t seed = 1;
+};
+
+// Number of chunks rank `rank` will produce under `spec`.
+[[nodiscard]] std::size_t synth_chunk_count(int rank, int nranks,
+                                            const SynthSpec& spec);
+
+// Deterministic dataset for `rank`; same (spec, rank, nranks) always
+// yields the same bytes.
+[[nodiscard]] std::vector<std::uint8_t> synth_dataset(int rank, int nranks,
+                                                      const SynthSpec& spec);
+
+}  // namespace collrep::apps

@@ -1,0 +1,64 @@
+#include "chunk/cdc.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace collrep::chunk {
+
+namespace {
+
+std::array<std::uint64_t, 256> make_gear_table(std::uint64_t seed) {
+  std::array<std::uint64_t, 256> table{};
+  std::uint64_t state = seed;
+  for (auto& entry : table) {
+    // splitmix64 step
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    entry = z ^ (z >> 31);
+  }
+  return table;
+}
+
+}  // namespace
+
+std::vector<ChunkRef> content_defined_refs(const Dataset& data,
+                                           const CdcParams& params) {
+  if (params.avg_bytes == 0 || (params.avg_bytes & (params.avg_bytes - 1))) {
+    throw std::invalid_argument("cdc: avg_bytes must be a power of two");
+  }
+  if (params.min_bytes == 0 || params.min_bytes > params.avg_bytes ||
+      params.avg_bytes > params.max_bytes) {
+    throw std::invalid_argument(
+        "cdc: need 0 < min_bytes <= avg_bytes <= max_bytes");
+  }
+  const auto gear = make_gear_table(params.seed);
+  const std::uint64_t mask = params.avg_bytes - 1;
+
+  std::vector<ChunkRef> refs;
+  for (std::size_t s = 0; s < data.segment_count(); ++s) {
+    const auto segment = data.segment(s);
+    std::uint64_t start = 0;
+    std::uint64_t hash = 0;
+    for (std::uint64_t i = 0; i < segment.size(); ++i) {
+      hash = (hash << 1) + gear[segment[i]];
+      const std::uint64_t len = i - start + 1;
+      const bool at_boundary =
+          len >= params.min_bytes && (hash & mask) == mask;
+      if (at_boundary || len == params.max_bytes) {
+        refs.push_back(ChunkRef{static_cast<std::uint32_t>(s), start,
+                                static_cast<std::uint32_t>(len)});
+        start = i + 1;
+        hash = 0;
+      }
+    }
+    if (start < segment.size()) {
+      refs.push_back(
+          ChunkRef{static_cast<std::uint32_t>(s), start,
+                   static_cast<std::uint32_t>(segment.size() - start)});
+    }
+  }
+  return refs;
+}
+
+}  // namespace collrep::chunk

@@ -1,0 +1,31 @@
+// Content-defined chunking (paper §II related work: "content defined
+// approaches use a variable chunk size calculated using a sliding window
+// over the data", à la LBFS/Rabin).  Implemented with a gear rolling hash
+// (FastCDC style): a boundary is declared where the rolling hash masks to
+// zero, so cut points follow content and survive byte insertions — the
+// property fixed-size chunking lacks (exercised by the CDC ablation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chunk/dataset.hpp"
+
+namespace collrep::chunk {
+
+struct CdcParams {
+  std::size_t min_bytes = 256;
+  // Average target size; must be a power of two (drives the hash mask).
+  std::size_t avg_bytes = 1024;
+  std::size_t max_bytes = 4096;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;  // gear table seed
+};
+
+// Cuts every segment of `data` into content-defined chunks.  Chunks never
+// straddle segments; every byte is covered exactly once; each chunk length
+// is in [min_bytes, max_bytes] except a segment's final chunk, which may
+// be shorter than min_bytes.
+[[nodiscard]] std::vector<ChunkRef> content_defined_refs(
+    const Dataset& data, const CdcParams& params);
+
+}  // namespace collrep::chunk

@@ -1,0 +1,141 @@
+#include "chunk/compress.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace collrep::chunk {
+
+namespace {
+
+constexpr std::size_t kWindow = 4096;    // 12-bit distances
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;    // 4-bit length field + kMinMatch
+constexpr int kChainDepth = 16;          // match-finder effort bound
+
+std::uint32_t prefix_hash(const std::uint8_t* p) noexcept {
+  // 3-byte prefix hash into a 2^13 table.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> 19;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  const auto len32 = static_cast<std::uint32_t>(input.size());
+  out.resize(4);
+  std::memcpy(out.data(), &len32, 4);
+
+  // head[h] = most recent position with prefix hash h; prev[] forms chains.
+  std::vector<std::int64_t> head(1u << 13, -1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  std::size_t pos = 0;
+  std::size_t flag_index = 0;
+  int items_in_group = 0;
+
+  const auto begin_group = [&] {
+    flag_index = out.size();
+    out.push_back(0);
+    items_in_group = 0;
+  };
+  begin_group();
+
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+
+    if (pos + kMinMatch <= input.size()) {
+      const std::uint32_t h = prefix_hash(input.data() + pos);
+      std::int64_t candidate = head[h];
+      for (int depth = 0; depth < kChainDepth && candidate >= 0; ++depth) {
+        const auto dist = pos - static_cast<std::size_t>(candidate);
+        if (dist > kWindow) break;
+        std::size_t match = 0;
+        const std::size_t limit =
+            std::min(kMaxMatch, input.size() - pos);
+        while (match < limit &&
+               input[static_cast<std::size_t>(candidate) + match] ==
+                   input[pos + match]) {
+          ++match;
+        }
+        if (match > best_len) {
+          best_len = match;
+          best_dist = dist;
+          if (match == kMaxMatch) break;
+        }
+        candidate = prev[static_cast<std::size_t>(candidate)];
+      }
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      out[flag_index] |= static_cast<std::uint8_t>(1 << items_in_group);
+      const auto d = static_cast<std::uint16_t>(best_dist - 1);  // 12 bits
+      const auto l = static_cast<std::uint16_t>(best_len - kMinMatch);
+      const std::uint16_t token = static_cast<std::uint16_t>((d << 4) | l);
+      out.push_back(static_cast<std::uint8_t>(token & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(token >> 8));
+      // Index the skipped positions so later matches can start there.
+      for (std::size_t i = 1; i < best_len; ++i) {
+        const std::size_t p = pos + i;
+        if (p + kMinMatch <= input.size()) {
+          const std::uint32_t h = prefix_hash(input.data() + p);
+          prev[p] = head[h];
+          head[h] = static_cast<std::int64_t>(p);
+        }
+      }
+      pos += best_len;
+    } else {
+      out.push_back(input[pos]);
+      ++pos;
+    }
+    if (++items_in_group == 8 && pos < input.size()) begin_group();
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> input) {
+  if (input.size() < 4) throw std::runtime_error("lzss: truncated header");
+  std::uint32_t original = 0;
+  std::memcpy(&original, input.data(), 4);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(original);
+  std::size_t pos = 4;
+  while (out.size() < original) {
+    if (pos >= input.size()) throw std::runtime_error("lzss: truncated flag");
+    const std::uint8_t flags = input[pos++];
+    for (int bit = 0; bit < 8 && out.size() < original; ++bit) {
+      if (flags & (1 << bit)) {
+        if (pos + 2 > input.size()) {
+          throw std::runtime_error("lzss: truncated match token");
+        }
+        const std::uint16_t token = static_cast<std::uint16_t>(
+            input[pos] | (input[pos + 1] << 8));
+        pos += 2;
+        const std::size_t dist = static_cast<std::size_t>(token >> 4) + 1;
+        const std::size_t len = static_cast<std::size_t>(token & 0xF) +
+                                kMinMatch;
+        if (dist > out.size()) throw std::runtime_error("lzss: bad distance");
+        for (std::size_t i = 0; i < len; ++i) {
+          out.push_back(out[out.size() - dist]);
+        }
+      } else {
+        if (pos >= input.size()) {
+          throw std::runtime_error("lzss: truncated literal");
+        }
+        out.push_back(input[pos++]);
+      }
+    }
+  }
+  if (out.size() != original) throw std::runtime_error("lzss: length drift");
+  return out;
+}
+
+}  // namespace collrep::chunk

@@ -1,0 +1,28 @@
+// LZSS compression (paper §II related work [17][18]: compressing
+// checkpoints before replication is the other classic redundancy-
+// elimination approach).  Byte-oriented LZSS with a 4 KiB window and
+// hash-chain match finding; self-contained, loss-less, fuzz-tested.
+//
+// Format: u32 original length, then groups of 8 items preceded by a flag
+// byte (bit set = match).  A match is 2 bytes: 12-bit backward distance
+// (1-based) and 4-bit length-3 (match lengths 3..18).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace collrep::chunk {
+
+[[nodiscard]] std::vector<std::uint8_t> lzss_compress(
+    std::span<const std::uint8_t> input);
+
+// Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> input);
+
+// Modeled single-core compression throughput for the cost model.
+inline constexpr double kLzssCompressBps = 180.0e6;
+inline constexpr double kLzssDecompressBps = 900.0e6;
+
+}  // namespace collrep::chunk

@@ -1,0 +1,99 @@
+// Dataset: the (possibly non-contiguous) local buffer a rank passes to
+// DUMP_OUTPUT.  The paper's buffer is the set of memory pages captured by
+// the checkpoint runtime; a Dataset is an ordered list of byte segments
+// that the chunker cuts into fixed-size chunks (chunks never straddle a
+// segment boundary — segments are page-aligned allocations).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace collrep::chunk {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void add_segment(std::span<const std::uint8_t> segment) {
+    segments_.push_back(segment);
+    total_bytes_ += segment.size();
+  }
+
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+  [[nodiscard]] std::span<const std::uint8_t> segment(std::size_t i) const {
+    return segments_.at(i);
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+ private:
+  std::vector<std::span<const std::uint8_t>> segments_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// Location of one fixed-size chunk inside a Dataset.
+struct ChunkRef {
+  std::uint32_t segment = 0;
+  std::uint64_t offset = 0;  // byte offset within the segment
+  std::uint32_t length = 0;  // < chunk size only for a segment's tail chunk
+};
+
+// Cuts a Dataset into fixed-size chunks (paper default: 4 KB = one memory
+// page).  Chunk i's bytes are a view into the caller's buffer; no copies.
+class Chunker {
+ public:
+  Chunker(const Dataset& data, std::size_t chunk_bytes)
+      : data_(&data), chunk_bytes_(chunk_bytes) {
+    if (chunk_bytes == 0) {
+      throw std::invalid_argument("Chunker: chunk size must be positive");
+    }
+    for (std::size_t s = 0; s < data.segment_count(); ++s) {
+      const auto seg = data.segment(s);
+      for (std::uint64_t off = 0; off < seg.size(); off += chunk_bytes) {
+        const auto len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk_bytes, seg.size() - off));
+        refs_.push_back(ChunkRef{static_cast<std::uint32_t>(s), off, len});
+      }
+    }
+  }
+
+  // Wraps precomputed (e.g. content-defined) chunk boundaries;
+  // `max_chunk_bytes` is the slot capacity every ref must fit in.
+  Chunker(const Dataset& data, std::size_t max_chunk_bytes,
+          std::vector<ChunkRef> refs)
+      : data_(&data), chunk_bytes_(max_chunk_bytes), refs_(std::move(refs)) {
+    if (max_chunk_bytes == 0) {
+      throw std::invalid_argument("Chunker: chunk size must be positive");
+    }
+    for (const auto& r : refs_) {
+      if (r.length > max_chunk_bytes) {
+        throw std::invalid_argument("Chunker: ref exceeds slot capacity");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return refs_.size(); }
+  // Maximum chunk length (= fixed size for fixed chunking, slot capacity
+  // for content-defined refs).
+  [[nodiscard]] std::size_t chunk_bytes() const noexcept {
+    return chunk_bytes_;
+  }
+  [[nodiscard]] const ChunkRef& ref(std::size_t i) const { return refs_.at(i); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t i) const {
+    const ChunkRef& r = refs_.at(i);
+    return data_->segment(r.segment).subspan(r.offset, r.length);
+  }
+
+ private:
+  const Dataset* data_;
+  std::size_t chunk_bytes_;
+  std::vector<ChunkRef> refs_;
+};
+
+}  // namespace collrep::chunk

@@ -1,0 +1,169 @@
+// ChunkStore: one rank's local storage device, content addressed.
+//
+// kPayload mode keeps chunk bytes (tests, examples, restore); kAccounting
+// mode keeps only fingerprints and byte counters so 408-rank benches fit in
+// RAM.  A store can be failed (node loss) — reads then behave as if the
+// device were gone, which is what the restore path and the failure-injection
+// tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunk/manifest.hpp"
+#include "hash/fingerprint.hpp"
+
+namespace collrep::chunk {
+
+enum class StoreMode : std::uint8_t {
+  kPayload,     // keep chunk bytes
+  kAccounting,  // keep fingerprints + sizes only
+};
+
+class StoreFailedError : public std::runtime_error {
+ public:
+  StoreFailedError() : std::runtime_error("chunk store has failed") {}
+};
+
+class ChunkStore {
+ public:
+  explicit ChunkStore(StoreMode mode = StoreMode::kPayload) : mode_(mode) {}
+
+  [[nodiscard]] StoreMode mode() const noexcept { return mode_; }
+
+  // Stores a chunk; returns true when the fingerprint was not yet present
+  // (content addressing makes duplicate puts free except for the lookup).
+  bool put(const hash::Fingerprint& fp, std::span<const std::uint8_t> payload) {
+    check_alive();
+    auto [it, inserted] = chunks_.try_emplace(fp);
+    if (!inserted) return false;
+    it->second.length = static_cast<std::uint32_t>(payload.size());
+    if (mode_ == StoreMode::kPayload) {
+      it->second.payload.assign(payload.begin(), payload.end());
+    }
+    stored_bytes_ += payload.size();
+    return true;
+  }
+
+  // Accounting-mode put: records presence and length without a payload.
+  bool put_accounted(const hash::Fingerprint& fp, std::uint32_t length) {
+    check_alive();
+    if (mode_ == StoreMode::kPayload) {
+      throw std::logic_error(
+          "ChunkStore: put_accounted() requires accounting mode");
+    }
+    auto [it, inserted] = chunks_.try_emplace(fp);
+    if (!inserted) return false;
+    it->second.length = length;
+    stored_bytes_ += length;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const hash::Fingerprint& fp) const {
+    check_alive();
+    return chunks_.contains(fp);
+  }
+
+  // Payload of a stored chunk; nullopt if absent.  Throws in accounting
+  // mode (no payloads retained) and when the store has failed.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> get(
+      const hash::Fingerprint& fp) const {
+    check_alive();
+    if (mode_ != StoreMode::kPayload) {
+      throw std::logic_error("ChunkStore: get() requires payload mode");
+    }
+    const auto it = chunks_.find(fp);
+    if (it == chunks_.end()) return std::nullopt;
+    return std::span<const std::uint8_t>{it->second.payload};
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> chunk_length(
+      const hash::Fingerprint& fp) const {
+    check_alive();
+    const auto it = chunks_.find(fp);
+    if (it == chunks_.end()) return std::nullopt;
+    return it->second.length;
+  }
+
+  // -- named blobs ------------------------------------------------------------
+  // Auxiliary objects that are not content addressed (erasure-coded parity
+  // shards, stream manifests).  Last write wins.
+  void put_blob(const std::string& key, std::vector<std::uint8_t> bytes) {
+    check_alive();
+    auto [it, inserted] = blobs_.insert_or_assign(key, std::move(bytes));
+    (void)it;
+    (void)inserted;
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>* get_blob(
+      const std::string& key) const {
+    check_alive();
+    const auto it = blobs_.find(key);
+    return it == blobs_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::uint64_t blob_bytes() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& [k, v] : blobs_) sum += v.size();
+    return sum;
+  }
+
+  void put_manifest(Manifest manifest) {
+    check_alive();
+    auto& slot = manifests_[manifest.owner_rank];
+    if (slot.has_value() && slot->epoch > manifest.epoch) return;
+    slot = std::move(manifest);
+  }
+
+  [[nodiscard]] const Manifest* manifest_for(int owner_rank) const {
+    check_alive();
+    const auto it = manifests_.find(owner_rank);
+    if (it == manifests_.end() || !it->second.has_value()) return nullptr;
+    return &*it->second;
+  }
+
+  // -- failure injection ----------------------------------------------------
+  void fail() noexcept { failed_ = true; }
+  void recover() noexcept { failed_ = false; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  // -- accounting -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept {
+    return stored_bytes_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+  void clear() {
+    chunks_.clear();
+    manifests_.clear();
+    blobs_.clear();
+    stored_bytes_ = 0;
+  }
+
+ private:
+  void check_alive() const {
+    if (failed_) throw StoreFailedError{};
+  }
+
+  struct Slot {
+    std::uint32_t length = 0;
+    std::vector<std::uint8_t> payload;  // empty in accounting mode
+  };
+
+  StoreMode mode_;
+  bool failed_ = false;
+  std::unordered_map<hash::Fingerprint, Slot, hash::FingerprintHash> chunks_;
+  std::map<int, std::optional<Manifest>> manifests_;
+  std::map<std::string, std::vector<std::uint8_t>> blobs_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace collrep::chunk

@@ -1,0 +1,32 @@
+// CollRep public API umbrella header.
+//
+// CollRep reproduces "Leveraging Naturally Distributed Data Redundancy to
+// Reduce Collective I/O Replication Overhead" (B. Nicolae, IPDPS 2015):
+// a collective I/O write primitive that co-optimizes inter-process
+// deduplication with partner replication.
+//
+// Quickstart (see examples/quickstart.cpp):
+//
+//   simmpi::Runtime rt(8);
+//   std::vector<chunk::ChunkStore> stores(8);
+//   rt.run([&](simmpi::Comm& comm) {
+//     std::vector<std::uint8_t> data = produce_local_dataset(comm.rank());
+//     chunk::Dataset ds;
+//     ds.add_segment(data);
+//     core::Dumper dumper(comm, stores[comm.rank()], core::DumpConfig{});
+//     const auto stats = dumper.dump_output(ds, /*K=*/3);
+//   });
+#pragma once
+
+#include "chunk/dataset.hpp"    // IWYU pragma: export
+#include "chunk/manifest.hpp"   // IWYU pragma: export
+#include "chunk/store.hpp"      // IWYU pragma: export
+#include "chunk/cdc.hpp"        // IWYU pragma: export
+#include "core/dump.hpp"        // IWYU pragma: export
+#include "core/planner.hpp"     // IWYU pragma: export
+#include "core/restore.hpp"     // IWYU pragma: export
+#include "hash/hasher.hpp"      // IWYU pragma: export
+#include "simmpi/collectives.hpp"  // IWYU pragma: export
+#include "simmpi/comm.hpp"      // IWYU pragma: export
+#include "simmpi/runtime.hpp"   // IWYU pragma: export
+#include "simtime/cluster.hpp"  // IWYU pragma: export

@@ -1,0 +1,377 @@
+#include "core/dump.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/local_dedup.hpp"
+#include "core/planner.hpp"
+
+namespace collrep::core {
+
+namespace {
+
+constexpr std::size_t kRecordHeaderBytes =
+    hash::Fingerprint::kBytes + sizeof(std::uint32_t);
+constexpr int kManifestTagBase = 6 << 20;
+
+struct PhaseClock {
+  explicit PhaseClock(simmpi::Comm& comm) : comm(comm) {
+    comm.barrier();
+    mark = comm.clock().now();
+    start = mark;
+  }
+  // Ends the current phase at a barrier so the recorded duration is the
+  // bulk-synchronous (max-over-ranks) phase time.
+  double lap() {
+    comm.barrier();
+    const double now = comm.clock().now();
+    const double d = now - mark;
+    mark = now;
+    return d;
+  }
+  simmpi::Comm& comm;
+  double start;
+  double mark;
+};
+
+}  // namespace
+
+std::string_view to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kNoDedup:
+      return "no-dedup";
+    case Strategy::kLocalDedup:
+      return "local-dedup";
+    case Strategy::kCollDedup:
+      return "coll-dedup";
+  }
+  return "unknown";
+}
+
+Dumper::Dumper(simmpi::Comm& comm, chunk::ChunkStore& store, DumpConfig config)
+    : comm_(comm), store_(store), config_(config) {
+  if (config_.chunk_bytes == 0) {
+    throw std::invalid_argument("Dumper: chunk_bytes must be positive");
+  }
+  if (config_.threshold_f == 0) {
+    throw std::invalid_argument("Dumper: threshold F must be positive");
+  }
+}
+
+DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
+  if (k < 1) throw std::invalid_argument("dump_output: K must be >= 1");
+  const int n = comm_.size();
+  const int rank = comm_.rank();
+  // All ranks must agree on K (collective contract).
+  const int kmax = simmpi::allreduce_max(comm_, k);
+  const int kmin = simmpi::allreduce(comm_, k, [](int a, int b) {
+    return a < b ? a : b;
+  });
+  if (kmax != kmin) {
+    throw std::invalid_argument("dump_output: ranks disagree on K");
+  }
+  const int keff = std::min(k, n);
+  if (!config_.payload_exchange &&
+      store_.mode() == chunk::StoreMode::kPayload) {
+    throw std::invalid_argument(
+        "dump_output: metadata-only exchange requires an accounting-mode "
+        "store (received payloads are not transferred)");
+  }
+  const auto& cluster = comm_.cluster();
+  const auto& hasher = hash::hasher_for(config_.hash_kind);
+
+  DumpStats stats;
+  stats.rank = rank;
+  stats.k_requested = k;
+  stats.k_effective = keff;
+
+  PhaseClock phase(comm_);
+
+  // ---- Phase 1: chunking, fingerprinting, local dedup ----------------------
+  const bool cdc = config_.chunking == ChunkingMode::kContentDefined;
+  const std::size_t slot_payload =
+      cdc ? config_.cdc.max_bytes : config_.chunk_bytes;
+  const chunk::Chunker chunker =
+      cdc ? chunk::Chunker(buffer, slot_payload,
+                           chunk::content_defined_refs(buffer, config_.cdc))
+          : chunk::Chunker(buffer, config_.chunk_bytes);
+  if (cdc && config_.strategy != Strategy::kNoDedup) {
+    // Rolling-hash boundary detection streams over every byte.
+    comm_.charge(static_cast<double>(buffer.total_bytes()) /
+                 cluster.cdc_bps);
+  }
+  LocalDedupResult local = local_dedup(chunker, hasher);
+  stats.dataset_bytes = local.total_bytes;
+  stats.chunk_count = chunker.count();
+  stats.local_unique_chunks = local.unique_chunks.size();
+  stats.local_unique_bytes = local.unique_bytes;
+  if (config_.strategy != Strategy::kNoDedup) {
+    // no-dedup streams raw data without hashing in the paper; the
+    // fingerprints it still computes here are free bookkeeping for the
+    // content-addressed store and are not charged to its clock.
+    comm_.charge(static_cast<double>(local.total_bytes) /
+                     hasher.modeled_bytes_per_second() +
+                 static_cast<double>(chunker.count()) *
+                     cluster.chunk_overhead_s);
+  }
+  stats.phases.hash_s = phase.lap();
+
+  // ---- Phase 2: collective reduction of fingerprint frequencies ------------
+  BoundedFpSet gview;
+  if (config_.strategy == Strategy::kCollDedup) {
+    BoundedFpSet mine(config_.threshold_f, keff, n);
+    for (const auto u : local.unique_chunks) {
+      mine.add_local(local.chunk_fps[u], rank);
+    }
+    mine.enforce_f();
+    comm_.charge(static_cast<double>(local.unique_chunks.size()) *
+                 cluster.merge_entry_cost_s);
+    gview = simmpi::reduce(
+        comm_, std::move(mine),
+        [this, &cluster](BoundedFpSet a, BoundedFpSet b) {
+          const MergeStats ms = a.merge_from(std::move(b));
+          comm_.charge(static_cast<double>(ms.entries_scanned) *
+                       cluster.merge_entry_cost_s);
+          return a;
+        },
+        0);
+    // Singletons are semantically dead weight in the view (see
+    // BoundedFpSet::prune_singletons); drop them before the broadcast.
+    if (rank == 0) (void)gview.prune_singletons();
+    simmpi::bcast(comm_, gview, 0);
+    stats.gview_entries = static_cast<std::uint32_t>(gview.size());
+  }
+  stats.phases.reduction_s = phase.lap();
+
+  // ---- Phase 3: load vectors, allgather, shuffle, offsets -------------------
+  ReplicaPlan plan;
+  std::vector<std::uint32_t> full_lengths;
+  switch (config_.strategy) {
+    case Strategy::kNoDedup: {
+      full_lengths.reserve(chunker.count());
+      for (std::size_t i = 0; i < chunker.count(); ++i) {
+        full_lengths.push_back(chunker.ref(i).length);
+      }
+      plan = plan_full(full_lengths, keff);
+      break;
+    }
+    case Strategy::kLocalDedup:
+      plan = plan_local_dedup(local, chunker, keff);
+      break;
+    case Strategy::kCollDedup:
+      plan = plan_collective(local, chunker, gview, rank, keff, nullptr);
+      break;
+  }
+
+  auto gathered = simmpi::allgather(comm_, plan.load);
+  SendMatrix mat(n, keff);
+  for (int r = 0; r < n; ++r) {
+    mat.set_row(r, gathered[static_cast<std::size_t>(r)]);
+  }
+
+  const bool shuffled =
+      config_.strategy == Strategy::kCollDedup && config_.rank_shuffle;
+  std::vector<int> shuffle =
+      shuffled ? rank_shuffle(mat, keff) : identity_shuffle(n);
+  if (config_.node_aware_partners && keff > 1) {
+    shuffle = make_node_disjoint(std::move(shuffle), keff, cluster);
+  }
+  stats.same_node_partners = static_cast<std::uint32_t>(
+      same_node_partner_count(shuffle, keff, cluster));
+  std::vector<int> position_of = invert_shuffle(shuffle);
+  // Sorting N ranks is the only super-linear planning step.
+  comm_.charge(static_cast<double>(n) *
+               std::max(1.0, std::log2(static_cast<double>(n))) * 5e-9);
+
+  if (config_.strategy == Strategy::kCollDedup &&
+      config_.avoid_designated_targets && keff > 1) {
+    // Partner identities are now known: rebuild the plan steering top-up
+    // replicas away from designated partners, and re-share the loads so
+    // the window offsets still agree (DESIGN.md §1, deviation 3).
+    const ShuffleContext ctx{shuffle, position_of};
+    plan = plan_collective(local, chunker, gview, rank, keff, &ctx);
+    gathered = simmpi::allgather(comm_, plan.load);
+    for (int r = 0; r < n; ++r) {
+      mat.set_row(r, gathered[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  stats.owned_unique_bytes = plan.owned_unique_bytes;
+  stats.discarded_chunks = plan.discarded_chunks;
+  stats.discarded_bytes = plan.discarded_bytes;
+  stats.skip_fallbacks = plan.skip_fallbacks;
+  stats.phases.planning_s = phase.lap();
+
+  // ---- Phase 4: single-sided chunk exchange --------------------------------
+  const std::size_t slot_bytes =
+      kRecordHeaderBytes + (config_.payload_exchange ? slot_payload : 0);
+  const int my_pos = position_of[static_cast<std::size_t>(rank)];
+  const std::uint64_t my_window_slots =
+      keff > 1 ? window_chunks(mat, shuffle, my_pos) : 0;
+
+  simmpi::Window win = comm_.win_create(
+      static_cast<std::size_t>(my_window_slots) * slot_bytes);
+
+  std::vector<std::uint64_t> slot_base(static_cast<std::size_t>(keff), 0);
+  std::vector<std::uint64_t> slot_next(static_cast<std::size_t>(keff), 0);
+  for (int p = 1; p < keff; ++p) {
+    slot_base[static_cast<std::size_t>(p)] =
+        put_offset_chunks(mat, shuffle, my_pos, p);
+  }
+
+  std::vector<std::uint8_t> record(slot_bytes, 0);
+  for (const ChunkAssignment& a : plan.assignments) {
+    if (a.send_slots.empty()) continue;
+    const std::size_t chunk_index =
+        config_.strategy == Strategy::kNoDedup
+            ? a.chunk
+            : local.unique_chunks[a.chunk];
+    const auto payload = chunker.bytes(chunk_index);
+    const auto& fp = local.chunk_fps[chunk_index];
+    const auto len = static_cast<std::uint32_t>(payload.size());
+
+    std::memcpy(record.data(), fp.bytes().data(), hash::Fingerprint::kBytes);
+    std::memcpy(record.data() + hash::Fingerprint::kBytes, &len, sizeof len);
+    if (config_.payload_exchange) {
+      std::memcpy(record.data() + kRecordHeaderBytes, payload.data(),
+                  payload.size());
+    }
+
+    for (const std::uint8_t p : a.send_slots) {
+      const int target = partner_at(shuffle, my_pos, p);
+      const std::uint64_t slot = slot_base[p] + slot_next[p]++;
+      win.put(target, static_cast<std::size_t>(slot) * slot_bytes, record,
+              kRecordHeaderBytes + payload.size());
+      ++stats.sent_chunks;
+      stats.sent_bytes += payload.size();
+    }
+  }
+  for (int p = 1; p < keff; ++p) {
+    if (slot_next[static_cast<std::size_t>(p)] !=
+        mat.at(rank, p)) {
+      throw std::logic_error(
+          "dump_output: send plan disagrees with advertised load");
+    }
+  }
+
+  win.fence();
+
+  // Parse the received records and stage them for local commit.
+  const auto region = win.local();
+  for (std::uint64_t s = 0; s < my_window_slots; ++s) {
+    const std::uint8_t* rec = region.data() + s * slot_bytes;
+    hash::Fingerprint fp{
+        std::span<const std::uint8_t>{rec, hash::Fingerprint::kBytes}};
+    std::uint32_t len = 0;
+    std::memcpy(&len, rec + hash::Fingerprint::kBytes, sizeof len);
+    ++stats.recv_chunks;
+    stats.recv_bytes += len;
+    if (config_.payload_exchange) {
+      store_.put(fp,
+                 std::span<const std::uint8_t>{rec + kRecordHeaderBytes, len});
+    } else {
+      store_.put_accounted(fp, len);
+    }
+    // The device writes the incoming replica stream as-is; content
+    // addressing in ChunkStore is an index property, not a write saving.
+    ++stats.stored_chunks;
+    stats.stored_bytes += len;
+  }
+  comm_.charge(static_cast<double>(stats.recv_bytes) /
+               comm_.cluster().mem_bandwidth_bps);
+  win.free();
+
+  // Manifest replication (small, point-to-point; same partner ring).
+  chunk::Manifest manifest;
+  manifest.owner_rank = rank;
+  manifest.epoch = config_.epoch;
+  manifest.segment_sizes.reserve(buffer.segment_count());
+  for (std::size_t i = 0; i < buffer.segment_count(); ++i) {
+    manifest.segment_sizes.push_back(buffer.segment(i).size());
+  }
+  manifest.entries.reserve(chunker.count());
+  for (std::size_t i = 0; i < chunker.count(); ++i) {
+    manifest.entries.push_back(
+        chunk::ManifestEntry{local.chunk_fps[i], chunker.ref(i).length});
+  }
+  stats.manifest_bytes = chunk::manifest_wire_bytes(manifest);
+  store_.put_manifest(manifest);
+  if (config_.replicate_manifest && keff > 1) {
+    for (int p = 1; p < keff; ++p) {
+      comm_.send_value(partner_at(shuffle, my_pos, p), kManifestTagBase + p,
+                       manifest);
+    }
+    for (int p = 1; p < keff; ++p) {
+      const int src =
+          shuffle[static_cast<std::size_t>(((my_pos - p) % n + n) % n)];
+      store_.put_manifest(comm_.recv_value<chunk::Manifest>(
+          src, kManifestTagBase + p));
+    }
+  }
+  stats.phases.exchange_s = phase.lap();
+
+  // ---- Phase 5: commit designated + kept chunks to the local device --------
+  for (const ChunkAssignment& a : plan.assignments) {
+    if (!a.store_local) continue;
+    const std::size_t chunk_index =
+        config_.strategy == Strategy::kNoDedup
+            ? a.chunk
+            : local.unique_chunks[a.chunk];
+    const auto payload = chunker.bytes(chunk_index);
+    const auto& fp = local.chunk_fps[chunk_index];
+    if (store_.mode() == chunk::StoreMode::kPayload) {
+      store_.put(fp, payload);
+    } else {
+      store_.put_accounted(fp, static_cast<std::uint32_t>(payload.size()));
+    }
+    // Each kept assignment is one device write (plan_full keeps every
+    // chunk including local duplicates, the dedup plans keep uniques).
+    ++stats.stored_chunks;
+    stats.stored_bytes += payload.size();
+  }
+
+  // The HDD is shared by all ranks of a node: the phase lasts as long as
+  // the node with the most bytes to write.
+  const std::uint64_t my_store_total = stats.stored_bytes +
+                                       stats.manifest_bytes;
+  const auto all_store = simmpi::allgather(comm_, my_store_total);
+  std::vector<std::uint64_t> node_bytes(
+      static_cast<std::size_t>(cluster.node_count(n)), 0);
+  for (int r = 0; r < n; ++r) {
+    node_bytes[static_cast<std::size_t>(cluster.node_of(r))] +=
+        all_store[static_cast<std::size_t>(r)];
+  }
+  comm_.charge(static_cast<double>(
+                   node_bytes[static_cast<std::size_t>(comm_.node())]) /
+               cluster.hdd_write_bps);
+  stats.phases.storage_s = phase.lap();
+
+  stats.total_time_s = comm_.clock().now() - phase.start;
+  return stats;
+}
+
+GlobalDumpStats Dumper::collect(simmpi::Comm& comm, const DumpStats& mine) {
+  GlobalDumpStats g;
+  g.total_dataset_bytes = simmpi::allreduce_sum(comm, mine.dataset_bytes);
+  g.total_unique_bytes = simmpi::allreduce_sum(comm, mine.owned_unique_bytes);
+  g.total_sent_bytes = simmpi::allreduce_sum(comm, mine.sent_bytes);
+  g.total_stored_bytes = simmpi::allreduce_sum(comm, mine.stored_bytes);
+  g.max_sent_bytes = simmpi::allreduce_max(comm, mine.sent_bytes);
+  g.max_recv_bytes = simmpi::allreduce_max(comm, mine.recv_bytes);
+  g.avg_sent_bytes =
+      static_cast<double>(g.total_sent_bytes) / comm.size();
+  g.completion_time_s = simmpi::allreduce_max(comm, mine.total_time_s);
+  g.max_phases.hash_s = simmpi::allreduce_max(comm, mine.phases.hash_s);
+  g.max_phases.reduction_s =
+      simmpi::allreduce_max(comm, mine.phases.reduction_s);
+  g.max_phases.planning_s =
+      simmpi::allreduce_max(comm, mine.phases.planning_s);
+  g.max_phases.exchange_s =
+      simmpi::allreduce_max(comm, mine.phases.exchange_s);
+  g.max_phases.storage_s = simmpi::allreduce_max(comm, mine.phases.storage_s);
+  return g;
+}
+
+}  // namespace collrep::core

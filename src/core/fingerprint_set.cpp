@@ -1,0 +1,194 @@
+#include "core/fingerprint_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace collrep::core {
+
+BoundedFpSet::BoundedFpSet(std::uint32_t f_cap, int k, int nranks)
+    : f_cap_(f_cap), k_(k), rank_load_(static_cast<std::size_t>(nranks), 0) {
+  if (f_cap == 0) throw std::invalid_argument("BoundedFpSet: F must be > 0");
+  if (k < 1) throw std::invalid_argument("BoundedFpSet: K must be >= 1");
+  if (nranks < 1) throw std::invalid_argument("BoundedFpSet: nranks >= 1");
+}
+
+void BoundedFpSet::add_local(const hash::Fingerprint& fp, int rank) {
+  auto [it, inserted] = entries_.try_emplace(fp);
+  if (!inserted) {
+    throw std::logic_error("BoundedFpSet: duplicate local fingerprint");
+  }
+  it->second.freq = 1;
+  it->second.ranks = {rank};
+  ++rank_load_[static_cast<std::size_t>(rank)];
+}
+
+MergeStats BoundedFpSet::enforce_f() {
+  MergeStats stats;
+  truncate_to_f(stats);
+  return stats;
+}
+
+std::size_t BoundedFpSet::prune_singletons() {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.freq <= 1) {
+      for (const std::int32_t r : it->second.ranks) {
+        --rank_load_[static_cast<std::size_t>(r)];
+      }
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void BoundedFpSet::truncate_ranks(FpEntry& entry, MergeStats& stats) {
+  if (entry.ranks.size() <= static_cast<std::size_t>(k_)) return;
+  // Keep the K least loaded designated ranks ("the most loaded ranks are
+  // eliminated first", §III-B); ties break toward the lower rank id so the
+  // outcome is independent of container iteration order.
+  std::stable_sort(entry.ranks.begin(), entry.ranks.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     const auto la = rank_load_[static_cast<std::size_t>(a)];
+                     const auto lb = rank_load_[static_cast<std::size_t>(b)];
+                     if (la != lb) return la < lb;
+                     return a < b;
+                   });
+  for (std::size_t i = static_cast<std::size_t>(k_); i < entry.ranks.size();
+       ++i) {
+    --rank_load_[static_cast<std::size_t>(entry.ranks[i])];
+    ++stats.ranks_dropped_load;
+  }
+  entry.ranks.resize(static_cast<std::size_t>(k_));
+  std::sort(entry.ranks.begin(), entry.ranks.end());
+}
+
+void BoundedFpSet::truncate_to_f(MergeStats& stats) {
+  if (entries_.size() <= f_cap_) return;
+  // Rank all entries by (freq desc, fp asc) and keep the first F.  The fp
+  // tie-break makes the survivor set independent of hash-map order.
+  std::vector<std::pair<std::uint32_t, hash::Fingerprint>> order;
+  order.reserve(entries_.size());
+  for (const auto& [fp, e] : entries_) order.emplace_back(e.freq, fp);
+  const auto cmp = [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  std::nth_element(order.begin(), order.begin() + f_cap_, order.end(), cmp);
+  for (std::size_t i = f_cap_; i < order.size(); ++i) {
+    const auto it = entries_.find(order[i].second);
+    for (std::int32_t r : it->second.ranks) {
+      --rank_load_[static_cast<std::size_t>(r)];
+    }
+    entries_.erase(it);
+    ++stats.entries_dropped_f;
+  }
+}
+
+MergeStats BoundedFpSet::merge_from(BoundedFpSet&& other) {
+  if (other.k_ != k_ || other.f_cap_ != f_cap_ ||
+      other.rank_load_.size() != rank_load_.size()) {
+    throw std::invalid_argument("BoundedFpSet: incompatible merge operands");
+  }
+  MergeStats stats;
+
+  // Combined designation counts steer the load-aware truncations below.
+  for (std::size_t i = 0; i < rank_load_.size(); ++i) {
+    rank_load_[i] += other.rank_load_[i];
+  }
+
+  // Deterministic processing order (fingerprint ascending) so truncation
+  // decisions do not depend on unordered_map layout.
+  std::vector<hash::Fingerprint> order;
+  order.reserve(other.entries_.size());
+  for (const auto& [fp, e] : other.entries_) order.push_back(fp);
+  std::sort(order.begin(), order.end());
+
+  for (const auto& fp : order) {
+    auto node = other.entries_.extract(fp);
+    FpEntry& incoming = node.mapped();
+    ++stats.entries_scanned;
+    const auto it = entries_.find(fp);
+    if (it == entries_.end()) {
+      entries_.emplace(fp, std::move(incoming));
+      continue;
+    }
+    FpEntry& mine = it->second;
+    mine.freq += incoming.freq;
+    // Union of two sorted, disjoint-by-construction rank lists.  (The same
+    // rank cannot be designated on both sides: each rank's fingerprints
+    // enter the reduction exactly once.)
+    std::vector<std::int32_t> merged;
+    merged.reserve(mine.ranks.size() + incoming.ranks.size());
+    std::merge(mine.ranks.begin(), mine.ranks.end(), incoming.ranks.begin(),
+               incoming.ranks.end(), std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    mine.ranks = std::move(merged);
+    truncate_ranks(mine, stats);
+  }
+
+  truncate_to_f(stats);
+  return stats;
+}
+
+bool BoundedFpSet::check_invariants() const {
+  if (entries_.size() > f_cap_) return false;
+  std::vector<std::uint32_t> counted(rank_load_.size(), 0);
+  for (const auto& [fp, e] : entries_) {
+    if (e.freq == 0) return false;
+    if (e.ranks.empty() || e.ranks.size() > static_cast<std::size_t>(k_)) {
+      return false;
+    }
+    if (!std::is_sorted(e.ranks.begin(), e.ranks.end())) return false;
+    if (std::adjacent_find(e.ranks.begin(), e.ranks.end()) != e.ranks.end()) {
+      return false;
+    }
+    for (std::int32_t r : e.ranks) {
+      if (r < 0 || static_cast<std::size_t>(r) >= counted.size()) return false;
+      ++counted[static_cast<std::size_t>(r)];
+    }
+  }
+  return counted == rank_load_;
+}
+
+void save(simmpi::OArchive& ar, const BoundedFpSet& s) {
+  ar.put(s.f_cap_);
+  ar.put(s.k_);
+  ar.put(static_cast<std::uint32_t>(s.rank_load_.size()));
+  ar.put(s.rank_load_);
+  ar.put_size(s.entries_.size());
+  for (const auto& [fp, e] : s.entries_) {
+    ar.put(fp);
+    ar.put(e.freq);
+    ar.put(static_cast<std::uint16_t>(e.ranks.size()));
+    for (std::int32_t r : e.ranks) ar.put(r);
+  }
+}
+
+void load(simmpi::IArchive& ar, BoundedFpSet& s) {
+  ar.get(s.f_cap_);
+  ar.get(s.k_);
+  std::uint32_t nranks = 0;
+  ar.get(nranks);
+  ar.get(s.rank_load_);
+  if (s.rank_load_.size() != nranks) {
+    throw std::runtime_error("BoundedFpSet: corrupt load vector");
+  }
+  const std::size_t count = ar.get_size();
+  s.entries_.clear();
+  s.entries_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    hash::Fingerprint fp;
+    ar.get(fp);
+    FpEntry e;
+    ar.get(e.freq);
+    const auto nranks_entry = ar.get<std::uint16_t>();
+    e.ranks.resize(nranks_entry);
+    for (auto& r : e.ranks) ar.get(r);
+    s.entries_.emplace(fp, std::move(e));
+  }
+}
+
+}  // namespace collrep::core

@@ -1,0 +1,104 @@
+// BoundedFpSet: the reduction operand of the paper's collective
+// deduplication (§III-B).
+//
+// It maps fingerprints to (frequency, designated ranks) and enforces two
+// bounds during every HMERGE:
+//   * at most F fingerprints survive (the most frequent; the rest are
+//     treated as unique — the paper's complexity-bounding relaxation), and
+//   * at most K designated ranks per fingerprint, truncated so that the
+//     *most loaded* ranks are dropped first, which embeds load balancing
+//     into the reduction ("uniform rank assignment").
+// A per-rank designation-count vector travels with the set so truncation
+// decisions stay consistent as the reduction ascends the tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/fingerprint.hpp"
+#include "simmpi/archive.hpp"
+
+namespace collrep::core {
+
+struct FpEntry {
+  std::uint32_t freq = 0;  // number of processes holding the chunk
+  std::vector<std::int32_t> ranks;  // designated ranks, sorted, size <= K
+};
+
+struct MergeStats {
+  std::uint64_t entries_scanned = 0;
+  std::uint64_t entries_dropped_f = 0;   // victims of the top-F bound
+  std::uint64_t ranks_dropped_load = 0;  // victims of the K-truncation
+};
+
+class BoundedFpSet {
+ public:
+  BoundedFpSet() = default;
+  BoundedFpSet(std::uint32_t f_cap, int k, int nranks);
+
+  // Registers one locally unique fingerprint of `rank` (freq 1).  Call
+  // enforce_f() once after the last add_local (adds skip the F bound so
+  // leaf construction stays linear).
+  void add_local(const hash::Fingerprint& fp, int rank);
+  MergeStats enforce_f();
+
+  // HMERGE: folds `other` into *this, then re-enforces both bounds.
+  MergeStats merge_from(BoundedFpSet&& other);
+
+  // Drops frequency-1 entries.  Applied to the fully reduced set before
+  // broadcast: a singleton's only holder behaves identically whether the
+  // fingerprint is in the view (designated, D=1 < K, sends K-1 top-ups)
+  // or absent (stores + sends K-1 copies), while no other rank holds it —
+  // so pruning preserves semantics, shrinks the broadcast, and stops
+  // singletons from crowding frequent fingerprints out of the F slots.
+  // Returns the number of entries removed.
+  std::size_t prune_singletons();
+
+  [[nodiscard]] const FpEntry* find(const hash::Fingerprint& fp) const {
+    const auto it = entries_.find(fp);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint32_t f_cap() const noexcept { return f_cap_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(rank_load_.size());
+  }
+  // Designation count per rank ("how many fingerprints is rank i
+  // responsible for"), maintained incrementally across merges.
+  [[nodiscard]] std::span<const std::uint32_t> rank_load() const noexcept {
+    return rank_load_;
+  }
+  [[nodiscard]] const std::unordered_map<hash::Fingerprint, FpEntry,
+                                         hash::FingerprintHash>&
+  entries() const noexcept {
+    return entries_;
+  }
+
+  // Verifies internal consistency (tests): load vector matches entries,
+  // rank lists sorted/unique/bounded, size within F.
+  [[nodiscard]] bool check_invariants() const;
+
+  friend void save(simmpi::OArchive& ar, const BoundedFpSet& s);
+  friend void load(simmpi::IArchive& ar, BoundedFpSet& s);
+
+ private:
+  // Drops designated ranks (most loaded first) until |ranks| <= K.
+  void truncate_ranks(FpEntry& entry, MergeStats& stats);
+  // Drops least frequent entries until size() <= F.
+  void truncate_to_f(MergeStats& stats);
+
+  std::uint32_t f_cap_ = 0;
+  int k_ = 1;
+  std::unordered_map<hash::Fingerprint, FpEntry, hash::FingerprintHash>
+      entries_;
+  std::vector<std::uint32_t> rank_load_;
+};
+
+void save(simmpi::OArchive& ar, const BoundedFpSet& s);
+void load(simmpi::IArchive& ar, BoundedFpSet& s);
+
+}  // namespace collrep::core

@@ -1,0 +1,48 @@
+// Phase 1 of the paper's two-phase deduplication: each process removes the
+// duplicates *within its own dataset*, producing the locally unique
+// fingerprint set (LHashes) that enters the collective reduction.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chunk/dataset.hpp"
+#include "hash/hasher.hpp"
+
+namespace collrep::core {
+
+struct LocalDedupResult {
+  // Fingerprint of every chunk, in buffer order (manifest construction).
+  std::vector<hash::Fingerprint> chunk_fps;
+  // Chunk index of the first occurrence of each unique fingerprint, in
+  // order of first appearance.
+  std::vector<std::uint32_t> unique_chunks;
+  // fp -> index into unique_chunks.
+  std::unordered_map<hash::Fingerprint, std::uint32_t, hash::FingerprintHash>
+      index_of;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+[[nodiscard]] inline LocalDedupResult local_dedup(
+    const chunk::Chunker& chunker, const hash::ChunkHasher& hasher) {
+  LocalDedupResult out;
+  out.chunk_fps.reserve(chunker.count());
+  out.index_of.reserve(chunker.count());
+  for (std::size_t i = 0; i < chunker.count(); ++i) {
+    const auto bytes = chunker.bytes(i);
+    const auto fp = hasher.fingerprint(bytes);
+    out.chunk_fps.push_back(fp);
+    out.total_bytes += bytes.size();
+    const auto [it, inserted] = out.index_of.try_emplace(
+        fp, static_cast<std::uint32_t>(out.unique_chunks.size()));
+    if (inserted) {
+      out.unique_chunks.push_back(static_cast<std::uint32_t>(i));
+      out.unique_bytes += bytes.size();
+    }
+  }
+  return out;
+}
+
+}  // namespace collrep::core

@@ -1,0 +1,61 @@
+// Restart path: rebuild a rank's dumped dataset from the surviving local
+// stores.  This is what makes the replication factor meaningful — the
+// paper's checkpoint-restart use case tolerates up to K-1 device failures,
+// and the failure-injection tests drive exactly that property.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "chunk/store.hpp"
+#include "simmpi/comm.hpp"
+
+namespace collrep::core {
+
+class ManifestLostError : public std::runtime_error {
+ public:
+  explicit ManifestLostError(int rank)
+      : std::runtime_error("restore: no surviving manifest for rank " +
+                           std::to_string(rank)) {}
+};
+
+class ChunkLostError : public std::runtime_error {
+ public:
+  ChunkLostError()
+      : std::runtime_error(
+            "restore: a chunk is not available on any surviving store") {}
+};
+
+struct RestoreResult {
+  std::vector<std::vector<std::uint8_t>> segments;
+  std::uint64_t chunks_from_own_store = 0;
+  std::uint64_t chunks_from_remote_stores = 0;
+  std::uint64_t bytes_from_own_store = 0;
+  std::uint64_t bytes_from_remote_stores = 0;
+};
+
+// Rebuilds `rank`'s most recent dump from `stores` (index == rank).  Failed
+// stores are skipped; throws ManifestLostError / ChunkLostError when the
+// failure pattern exceeds what the replication factor can tolerate.
+// Stores must be payload mode.
+[[nodiscard]] RestoreResult restore_rank(
+    std::span<chunk::ChunkStore* const> stores, int rank);
+
+struct CollectiveRestoreStats {
+  std::uint64_t local_bytes = 0;
+  std::uint64_t remote_bytes = 0;
+  // Aligned completion time of the collective restart (same on all ranks).
+  double total_time_s = 0.0;
+};
+
+// RESTORE_INPUT: the collective restart counterpart of DUMP_OUTPUT.
+// Every rank rebuilds its own most recent dump; local reads are charged at
+// HDD read rate, remote fetches additionally traverse the network.  Must
+// be called by all ranks of the communicator.
+[[nodiscard]] std::pair<RestoreResult, CollectiveRestoreStats> restore_input(
+    simmpi::Comm& comm, std::span<chunk::ChunkStore* const> stores);
+
+}  // namespace collrep::core

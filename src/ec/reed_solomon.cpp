@@ -1,0 +1,161 @@
+#include "ec/reed_solomon.hpp"
+
+#include <stdexcept>
+
+namespace collrep::ec {
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : m_(data_shards), r_(parity_shards) {
+  if (m_ < 1 || r_ < 0 || m_ + r_ > 256) {
+    throw std::invalid_argument(
+        "ReedSolomon: need 1 <= m and m + r <= 256");
+  }
+  // Cauchy matrix: coeff[j][i] = 1 / (x_j ^ y_i) with x_j = m + j,
+  // y_i = i (all 2m + r values distinct in GF(256)).
+  coeff_.resize(static_cast<std::size_t>(r_) * static_cast<std::size_t>(m_));
+  for (int j = 0; j < r_; ++j) {
+    for (int i = 0; i < m_; ++i) {
+      const auto x = static_cast<std::uint8_t>(m_ + j);
+      const auto y = static_cast<std::uint8_t>(i);
+      coeff_[static_cast<std::size_t>(j) * m_ + i] =
+          gf_inv(gf_add(x, y));
+    }
+  }
+}
+
+std::uint8_t ReedSolomon::coeff(int parity_row, int data_col) const {
+  return coeff_.at(static_cast<std::size_t>(parity_row) * m_ +
+                   static_cast<std::size_t>(data_col));
+}
+
+void ReedSolomon::encode(
+    std::span<const std::span<const std::uint8_t>> data,
+    std::span<std::vector<std::uint8_t>> parity) const {
+  if (static_cast<int>(data.size()) != m_ ||
+      static_cast<int>(parity.size()) != r_) {
+    throw std::invalid_argument("ReedSolomon: shard count mismatch");
+  }
+  const std::size_t len = data.empty() ? 0 : data[0].size();
+  for (const auto& shard : data) {
+    if (shard.size() != len) {
+      throw std::invalid_argument("ReedSolomon: uneven data shards");
+    }
+  }
+  for (int j = 0; j < r_; ++j) {
+    auto& out = parity[static_cast<std::size_t>(j)];
+    out.assign(len, 0);
+    for (int i = 0; i < m_; ++i) {
+      gf_mul_add(out, data[static_cast<std::size_t>(i)], coeff(j, i));
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::reconstruct_data(
+    const std::vector<std::optional<std::vector<std::uint8_t>>>& shards)
+    const {
+  if (static_cast<int>(shards.size()) != m_ + r_) {
+    throw std::invalid_argument("ReedSolomon: shard slot count mismatch");
+  }
+  // Pick the first m present shards; row of the generator matrix for a
+  // data shard i is the unit vector e_i, for parity shard j the Cauchy row.
+  std::vector<int> chosen;
+  std::size_t len = 0;
+  for (int s = 0; s < m_ + r_ && static_cast<int>(chosen.size()) < m_; ++s) {
+    if (shards[static_cast<std::size_t>(s)].has_value()) {
+      chosen.push_back(s);
+      len = shards[static_cast<std::size_t>(s)]->size();
+    }
+  }
+  if (static_cast<int>(chosen.size()) < m_) {
+    throw std::runtime_error(
+        "ReedSolomon: too many erasures (need m surviving shards)");
+  }
+  for (const int s : chosen) {
+    if (shards[static_cast<std::size_t>(s)]->size() != len) {
+      throw std::invalid_argument("ReedSolomon: uneven surviving shards");
+    }
+  }
+
+  // Fast path: all data shards alive.
+  if (chosen.back() < m_) {
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      out.push_back(*shards[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+
+  // Build the m x m system A * data = survivors and invert by Gauss-Jordan
+  // with an identity augment (all in GF(256)).
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(m_) * m_, 0);
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(m_) * m_, 0);
+  for (int row = 0; row < m_; ++row) {
+    const int s = chosen[static_cast<std::size_t>(row)];
+    if (s < m_) {
+      a[static_cast<std::size_t>(row) * m_ + s] = 1;
+    } else {
+      for (int i = 0; i < m_; ++i) {
+        a[static_cast<std::size_t>(row) * m_ + i] = coeff(s - m_, i);
+      }
+    }
+    inv[static_cast<std::size_t>(row) * m_ + row] = 1;
+  }
+  const auto at = [&](std::vector<std::uint8_t>& mat, int r,
+                      int c) -> std::uint8_t& {
+    return mat[static_cast<std::size_t>(r) * m_ + static_cast<std::size_t>(c)];
+  };
+  for (int col = 0; col < m_; ++col) {
+    int pivot = -1;
+    for (int row = col; row < m_; ++row) {
+      if (at(a, row, col) != 0) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      throw std::runtime_error("ReedSolomon: singular decode matrix");
+    }
+    if (pivot != col) {
+      // Row swaps are part of the elimination sequence E with E*A = I, so
+      // E (accumulated in `inv`) is A^-1 for A in its *original* row
+      // order; `chosen` must keep that order.
+      for (int c = 0; c < m_; ++c) {
+        std::swap(at(a, pivot, c), at(a, col, c));
+        std::swap(at(inv, pivot, c), at(inv, col, c));
+      }
+    }
+    const std::uint8_t scale = gf_inv(at(a, col, col));
+    for (int c = 0; c < m_; ++c) {
+      at(a, col, c) = gf_mul(at(a, col, c), scale);
+      at(inv, col, c) = gf_mul(at(inv, col, c), scale);
+    }
+    for (int row = 0; row < m_; ++row) {
+      if (row == col) continue;
+      const std::uint8_t factor = at(a, row, col);
+      if (factor == 0) continue;
+      for (int c = 0; c < m_; ++c) {
+        at(a, row, c) = gf_add(at(a, row, c), gf_mul(factor, at(a, col, c)));
+        at(inv, row, c) =
+            gf_add(at(inv, row, c), gf_mul(factor, at(inv, col, c)));
+      }
+    }
+  }
+
+  // data_i = sum_row inv[i][row] * survivor_row.
+  std::vector<std::vector<std::uint8_t>> out(
+      static_cast<std::size_t>(m_), std::vector<std::uint8_t>(len, 0));
+  for (int i = 0; i < m_; ++i) {
+    for (int row = 0; row < m_; ++row) {
+      const std::uint8_t c = at(inv, i, row);
+      if (c == 0) continue;
+      gf_mul_add(out[static_cast<std::size_t>(i)],
+                 *shards[static_cast<std::size_t>(
+                     chosen[static_cast<std::size_t>(row)])],
+                 c);
+    }
+  }
+  return out;
+}
+
+}  // namespace collrep::ec

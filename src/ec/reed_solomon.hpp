@@ -1,0 +1,48 @@
+// Systematic Reed-Solomon erasure code over GF(2^8) with a Cauchy parity
+// matrix (every square submatrix of a Cauchy matrix is invertible, so the
+// code is MDS: any m of the m+r shards reconstruct the data).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ec/gf256.hpp"
+
+namespace collrep::ec {
+
+class ReedSolomon {
+ public:
+  // m data shards + r parity shards; m + r <= 256 (field size bound).
+  ReedSolomon(int data_shards, int parity_shards);
+
+  [[nodiscard]] int data_shards() const noexcept { return m_; }
+  [[nodiscard]] int parity_shards() const noexcept { return r_; }
+
+  // Parity coefficient applied to data shard `i` when computing parity
+  // shard `j`: parity_j = sum_i coeff(j, i) * data_i.  Exposed so that
+  // distributed encoders (the group-parity ring) can scale contributions
+  // incrementally without materializing all data shards in one place.
+  [[nodiscard]] std::uint8_t coeff(int parity_row, int data_col) const;
+
+  // Computes all parity shards from complete data shards.  Every shard
+  // (data and parity) must have the same length.
+  void encode(std::span<const std::span<const std::uint8_t>> data,
+              std::span<std::vector<std::uint8_t>> parity) const;
+
+  // Reconstructs the missing *data* shards.  `shards` has m + r slots
+  // (data first, then parity); nullopt marks an erasure.  At least m
+  // present shards are required; throws std::runtime_error otherwise.
+  // Returns all m data shards (present ones are copied through).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> reconstruct_data(
+      const std::vector<std::optional<std::vector<std::uint8_t>>>& shards)
+      const;
+
+ private:
+  int m_;
+  int r_;
+  std::vector<std::uint8_t> coeff_;  // r x m Cauchy matrix, row major
+};
+
+}  // namespace collrep::ec

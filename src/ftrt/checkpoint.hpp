@@ -1,0 +1,116 @@
+// CheckpointRuntime: the AC-FTE-style checkpoint-restart driver (paper §IV).
+//
+// The application runs its iteration loop and calls maybe_checkpoint(i)
+// at every synchronization point; when the schedule fires, the runtime
+// snapshots the tracked arena (all live application memory) and hands it
+// to DUMP_OUTPUT — exactly how the paper wires AC-FTE's transparent page
+// capture to the proposed collective write primitive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/dump.hpp"
+#include "core/restore.hpp"
+#include "ftrt/tracked_arena.hpp"
+
+namespace collrep::ftrt {
+
+struct CheckpointConfig {
+  core::DumpConfig dump;
+  int replication_factor = 3;
+  // Checkpoint every `interval` iterations (0 disables the schedule; use
+  // checkpoint_now() for manual control).
+  int interval = 0;
+  int first_iteration = 0;  // first iteration eligible for the schedule
+};
+
+class CheckpointRuntime {
+ public:
+  CheckpointRuntime(simmpi::Comm& comm, chunk::ChunkStore& store,
+                    TrackedArena& arena, CheckpointConfig config)
+      : comm_(comm), store_(store), arena_(arena), config_(config) {}
+
+  // Collective when it fires (all ranks share the schedule, so either all
+  // or none enter dump_output).  Returns the stats when a checkpoint was
+  // taken this iteration.
+  std::optional<core::DumpStats> maybe_checkpoint(int iteration) {
+    if (config_.interval <= 0 || iteration < config_.first_iteration ||
+        (iteration - config_.first_iteration) % config_.interval != 0) {
+      return std::nullopt;
+    }
+    return checkpoint_now();
+  }
+
+  // Collective: snapshot + dump, unconditionally.
+  core::DumpStats checkpoint_now() {
+    core::DumpConfig cfg = config_.dump;
+    cfg.epoch = next_epoch_++;
+    core::Dumper dumper(comm_, store_, cfg);
+    const auto stats =
+        dumper.dump_output(arena_.snapshot(), config_.replication_factor);
+    history_.push_back(stats);
+    return stats;
+  }
+
+  // Restart path: rebuild this rank's most recent checkpoint from the
+  // surviving stores (see core::restore_rank for failure semantics).
+  [[nodiscard]] core::RestoreResult restore_latest(
+      std::span<chunk::ChunkStore* const> stores) const {
+    return core::restore_rank(stores, comm_.rank());
+  }
+
+  [[nodiscard]] const std::vector<core::DumpStats>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const noexcept {
+    return history_.size();
+  }
+
+ private:
+  simmpi::Comm& comm_;
+  chunk::ChunkStore& store_;
+  TrackedArena& arena_;
+  CheckpointConfig config_;
+  std::uint64_t next_epoch_ = 1;
+  std::vector<core::DumpStats> history_;
+};
+
+// Deterministic failure injection for the restart tests: kills up to
+// `count` distinct stores (never more than the surviving-majority bound
+// the caller asks for) using a splitmix64 stream.
+class FailureInjector {
+ public:
+  explicit FailureInjector(std::uint64_t seed) : state_(seed) {}
+
+  std::vector<int> kill_stores(std::span<chunk::ChunkStore* const> stores,
+                               int count) {
+    std::vector<int> victims;
+    const int n = static_cast<int>(stores.size());
+    while (static_cast<int>(victims.size()) < count &&
+           static_cast<int>(victims.size()) < n) {
+      const int v = static_cast<int>(next() % static_cast<std::uint64_t>(n));
+      if (!stores[static_cast<std::size_t>(v)]->failed()) {
+        stores[static_cast<std::size_t>(v)]->fail();
+        victims.push_back(v);
+      }
+    }
+    return victims;
+  }
+
+  static void heal_all(std::span<chunk::ChunkStore* const> stores) {
+    for (auto* s : stores) s->recover();
+  }
+
+ private:
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t state_;
+};
+
+}  // namespace collrep::ftrt

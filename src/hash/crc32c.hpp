@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+// Table-driven software implementation.  The weakest fingerprint in the
+// registry; included to demonstrate (and test) how the pipeline behaves
+// when the collision probability is non-negligible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace collrep::hash {
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0) noexcept;
+
+}  // namespace collrep::hash

@@ -1,0 +1,86 @@
+// Fingerprint: fixed-width digest identifying a chunk's content.
+//
+// The paper uses SHA1 (160 bits) as the default fingerprint, so Fingerprint
+// is sized for the largest supported digest; shorter hashes (FNV/XX64/CRC)
+// zero-pad.  Fingerprints are ordered and hashable so they can key ordered
+// and unordered containers, and they serialize as raw bytes.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace collrep::hash {
+
+class Fingerprint {
+ public:
+  static constexpr std::size_t kBytes = 20;  // SHA-1 digest width
+
+  constexpr Fingerprint() noexcept : bytes_{} {}
+
+  explicit Fingerprint(std::span<const std::uint8_t> digest) noexcept : bytes_{} {
+    const std::size_t n = digest.size() < kBytes ? digest.size() : kBytes;
+    for (std::size_t i = 0; i < n; ++i) bytes_[i] = digest[i];
+  }
+
+  // Builds a fingerprint from a 64-bit hash value (FNV, XX64, CRC paths).
+  static Fingerprint from_u64(std::uint64_t value) noexcept {
+    Fingerprint fp;
+    for (std::size_t i = 0; i < 8; ++i) {
+      fp.bytes_[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    return fp;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t, kBytes> bytes() const noexcept {
+    return std::span<const std::uint8_t, kBytes>{bytes_};
+  }
+  [[nodiscard]] std::span<std::uint8_t, kBytes> bytes() noexcept {
+    return std::span<std::uint8_t, kBytes>{bytes_};
+  }
+
+  // First 8 bytes as little-endian u64; used for cheap bucketing/sampling.
+  [[nodiscard]] std::uint64_t prefix64() const noexcept {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes_.data(), sizeof v);
+    return v;
+  }
+
+  [[nodiscard]] std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * kBytes);
+    for (std::uint8_t b : bytes_) {
+      out.push_back(kDigits[b >> 4]);
+      out.push_back(kDigits[b & 0xF]);
+    }
+    return out;
+  }
+
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+ private:
+  std::array<std::uint8_t, kBytes> bytes_;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    // The digest bytes are already uniformly distributed; fold the prefix.
+    return static_cast<std::size_t>(fp.prefix64());
+  }
+};
+
+}  // namespace collrep::hash
+
+template <>
+struct std::hash<collrep::hash::Fingerprint> {
+  std::size_t operator()(const collrep::hash::Fingerprint& fp) const noexcept {
+    return collrep::hash::FingerprintHash{}(fp);
+  }
+};

@@ -1,0 +1,27 @@
+// FNV-1a 64-bit: trivially simple non-cryptographic hash.  Used when the
+// application accepts a higher collision probability in exchange for
+// hashing speed (paper §IV: "our approach fully supports other hash
+// functions if a better trade-off between performance and collision chance
+// is desired").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace collrep::hash {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                                std::uint64_t seed = kFnvOffsetBasis) noexcept {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace collrep::hash

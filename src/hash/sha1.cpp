@@ -1,0 +1,131 @@
+#include "hash/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace collrep::hash {
+
+namespace {
+
+constexpr std::uint32_t rol(std::uint32_t v, int s) noexcept {
+  return std::rotl(v, s);
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rol(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rol(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rol(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+
+  if (buffered_ > 0) {
+    const std::size_t need = kBlockBytes - buffered_;
+    const std::size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == kBlockBytes) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+
+  while (offset + kBlockBytes <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockBytes;
+  }
+
+  if (offset < data.size()) {
+    buffered_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffered_);
+  }
+}
+
+void Sha1::finish(std::span<std::uint8_t, kDigestBytes> digest) noexcept {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+
+  static constexpr std::uint8_t kPad = 0x80;
+  update(std::span<const std::uint8_t>{&kPad, 1});
+  static constexpr std::uint8_t kZero = 0x00;
+  while (buffered_ != 56) {
+    update(std::span<const std::uint8_t>{&kZero, 1});
+  }
+
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>{len_bytes, 8});
+
+  for (int i = 0; i < 5; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestBytes> Sha1::digest(
+    std::span<const std::uint8_t> data) noexcept {
+  Sha1 h;
+  h.update(data);
+  std::array<std::uint8_t, kDigestBytes> out{};
+  h.finish(out);
+  return out;
+}
+
+}  // namespace collrep::hash

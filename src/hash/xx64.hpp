@@ -1,0 +1,15 @@
+// XX64: the 64-bit xxHash algorithm (XXH64), reimplemented from the public
+// specification.  Fast, well-distributed, non-cryptographic; the middle
+// ground between SHA-1 and FNV-1a in the fingerprint-function trade-off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace collrep::hash {
+
+std::uint64_t xx64(std::span<const std::uint8_t> data,
+                   std::uint64_t seed = 0) noexcept;
+
+}  // namespace collrep::hash

@@ -1,0 +1,148 @@
+// Typed collectives built on the Comm point-to-point layer.
+//
+// Shapes follow the classic MPI implementations the paper relies on:
+// binomial-tree reduce + binomial-tree broadcast (so ALLREDUCE of the
+// HMERGE operator is logarithmic in the number of processes, §III-B), and
+// ring allgather.  User-defined reduction operators receive
+// (accumulated, incoming) and may charge compute time via Comm::charge.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace collrep::simmpi {
+
+namespace tags {
+// Distinct tag bases per collective; point-to-point matching is FIFO per
+// (source, tag) so repeated collectives on the same tag stay ordered.
+inline constexpr int kBcast = 1 << 20;
+inline constexpr int kReduce = 2 << 20;
+inline constexpr int kGather = 3 << 20;
+inline constexpr int kAllgather = 4 << 20;
+inline constexpr int kScatter = 5 << 20;
+}  // namespace tags
+
+// Broadcast `value` from `root` to all ranks (binomial tree).
+template <class T>
+void bcast(Comm& comm, T& value, int root = 0) {
+  const int n = comm.size();
+  if (n == 1) return;
+  const int vrank = (comm.rank() - root + n) % n;
+
+  if (vrank != 0) {
+    const int parent_v = vrank ^ (vrank & -vrank);
+    value = comm.recv_value<T>((parent_v + root) % n, tags::kBcast);
+  }
+  const int lsb = (vrank == 0) ? (1 << 30) : (vrank & -vrank);
+  // Children are vrank + mask for every power of two below our lowest
+  // set bit; send the largest subtree first so deep subtrees start early.
+  int top = 1;
+  while (top < lsb && (vrank | top) < n && top < n) top <<= 1;
+  for (int mask = top >> 1; mask >= 1; mask >>= 1) {
+    const int child_v = vrank | mask;
+    if (child_v != vrank && child_v < n) {
+      comm.send_value((child_v + root) % n, tags::kBcast, value);
+    }
+  }
+}
+
+// Reduce all ranks' values onto rank `root` using `op(accumulated,
+// incoming)`; `op` must be associative (binomial combination order).
+// Non-root ranks return their partial accumulation.
+template <class T, class Op>
+T reduce(Comm& comm, T value, Op op, int root = 0) {
+  const int n = comm.size();
+  const int vrank = (comm.rank() - root + n) % n;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((vrank & mask) != 0) {
+      const int partner_v = vrank ^ mask;
+      comm.send_value((partner_v + root) % n, tags::kReduce, value);
+      break;
+    }
+    const int partner_v = vrank | mask;
+    if (partner_v < n) {
+      T incoming = comm.recv_value<T>((partner_v + root) % n, tags::kReduce);
+      value = op(std::move(value), std::move(incoming));
+    }
+  }
+  return value;
+}
+
+// Allreduce = binomial reduce to rank 0 + binomial broadcast, mirroring the
+// paper's ALLREDUCE(HMERGE, LHashes) step.
+template <class T, class Op>
+T allreduce(Comm& comm, T value, Op op) {
+  value = reduce(comm, std::move(value), std::move(op), 0);
+  bcast(comm, value, 0);
+  return value;
+}
+
+// Gather every rank's value at `root` (index == source rank).  Non-root
+// ranks receive an empty vector.
+template <class T>
+std::vector<T> gather(Comm& comm, const T& value, int root = 0) {
+  const int n = comm.size();
+  if (comm.rank() != root) {
+    comm.send_value(root, tags::kGather, value);
+    return {};
+  }
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    if (r == root) {
+      out.push_back(value);
+    } else {
+      out.push_back(comm.recv_value<T>(r, tags::kGather));
+    }
+  }
+  return out;
+}
+
+// Scatter `values` (root-only, size == nranks) so each rank gets its slot.
+template <class T>
+T scatter(Comm& comm, const std::vector<T>& values, int root = 0) {
+  const int n = comm.size();
+  if (comm.rank() == root) {
+    for (int r = 0; r < n; ++r) {
+      if (r != root) comm.send_value(r, tags::kScatter, values[r]);
+    }
+    return values[static_cast<std::size_t>(root)];
+  }
+  return comm.recv_value<T>(root, tags::kScatter);
+}
+
+// Ring allgather: N-1 steps, each rank forwards the block it received in
+// the previous step.  Returns the vector of all ranks' values by rank.
+template <class T>
+std::vector<T> allgather(Comm& comm, const T& value) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  std::vector<T> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(r)] = value;
+  T current = value;
+  for (int step = 0; step < n - 1; ++step) {
+    const int dst = (r + 1) % n;
+    const int src = (r - 1 + n) % n;
+    comm.send_value(dst, tags::kAllgather + step, current);
+    current = comm.recv_value<T>(src, tags::kAllgather + step);
+    const int origin = ((r - 1 - step) % n + n) % n;
+    out[static_cast<std::size_t>(origin)] = current;
+  }
+  return out;
+}
+
+// Convenience numeric reductions.
+template <class T>
+T allreduce_sum(Comm& comm, T value) {
+  return allreduce(comm, value, [](T a, T b) { return a + b; });
+}
+
+template <class T>
+T allreduce_max(Comm& comm, T value) {
+  return allreduce(comm, value, [](T a, T b) { return a > b ? a : b; });
+}
+
+}  // namespace simmpi

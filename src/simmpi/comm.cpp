@@ -1,0 +1,134 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace collrep::simmpi {
+
+void Comm::send_bytes(int dst, int tag, std::span<const std::uint8_t> data) {
+  if (state_->aborted().load()) throw AbortedError{};
+  if (dst < 0 || dst >= size()) {
+    throw std::out_of_range("simmpi: send to invalid rank");
+  }
+  const auto& cl = cluster();
+  // Sender-side copy-out overhead, then in-flight latency/bandwidth.
+  clock_.advance(static_cast<double>(data.size()) / cl.mem_bandwidth_bps);
+  detail::Message msg{
+      std::vector<std::uint8_t>(data.begin(), data.end()),
+      clock_.now() + cl.message_time(rank_, dst, data.size())};
+  state_->mailbox(dst).push(rank_, tag, std::move(msg));
+}
+
+std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag) {
+  if (src < 0 || src >= size()) {
+    throw std::out_of_range("simmpi: recv from invalid rank");
+  }
+  auto msg = state_->mailbox(rank_).pop(src, tag, state_->aborted());
+  clock_.at_least(msg.arrival_time);
+  clock_.advance(static_cast<double>(msg.payload.size()) /
+                 cluster().mem_bandwidth_bps);
+  return std::move(msg.payload);
+}
+
+void Comm::barrier() { clock_.at_least(state_->sync(clock_.now())); }
+
+Window Comm::win_create(std::size_t local_bytes) {
+  const int id = next_win_id_++;
+  state_->window_register(rank_, id, local_bytes);
+  barrier();  // all regions allocated before any put
+  return Window(*this, id);
+}
+
+void Window::put(int target, std::size_t offset,
+                 std::span<const std::uint8_t> data,
+                 std::uint64_t modeled_bytes) {
+  if (!comm_) throw std::logic_error("simmpi: put on invalid window");
+  if (modeled_bytes == 0) modeled_bytes = data.size();
+  auto& ws = comm_->state_->window(id_);
+  if (target < 0 || target >= comm_->size()) {
+    throw std::out_of_range("simmpi: put to invalid rank");
+  }
+  {
+    std::scoped_lock lk(ws.locks[static_cast<std::size_t>(target)]);
+    auto& buf = ws.buffers[static_cast<std::size_t>(target)];
+    if (offset + data.size() > buf.size()) {
+      throw std::out_of_range("simmpi: put beyond window bounds");
+    }
+    std::memcpy(buf.data() + offset, data.data(), data.size());
+  }
+  const auto& cl = comm_->cluster();
+  const int src_node = cl.node_of(comm_->rank());
+  const int dst_node = cl.node_of(target);
+  {
+    std::scoped_lock lk(ws.acct_mu);
+    if (src_node == dst_node) {
+      ws.node_intra[static_cast<std::size_t>(src_node)] += modeled_bytes;
+    } else {
+      ws.node_inter_sent[static_cast<std::size_t>(src_node)] += modeled_bytes;
+      ws.node_inter_recv[static_cast<std::size_t>(dst_node)] += modeled_bytes;
+    }
+    ws.last_put_issue = std::max(ws.last_put_issue, comm_->clock().now());
+  }
+  comm_->epoch_bytes_put_ += modeled_bytes;
+  comm_->charge(static_cast<double>(modeled_bytes) / cl.mem_bandwidth_bps);
+}
+
+std::span<std::uint8_t> Window::local() {
+  if (!comm_) throw std::logic_error("simmpi: local() on invalid window");
+  auto& ws = comm_->state_->window(id_);
+  return ws.buffers[static_cast<std::size_t>(comm_->rank())];
+}
+
+std::span<const std::uint8_t> Window::local() const {
+  if (!comm_) throw std::logic_error("simmpi: local() on invalid window");
+  auto& ws = comm_->state_->window(id_);
+  return ws.buffers[static_cast<std::size_t>(comm_->rank())];
+}
+
+void Window::fence() {
+  if (!comm_) throw std::logic_error("simmpi: fence on invalid window");
+  auto& ws = comm_->state_->window(id_);
+  const auto& cl = comm_->cluster();
+  const double release = comm_->state_->sync(
+      comm_->clock().now(), [&](double max_clock) {
+        // Bulk-synchronous epoch: each node's NIC moves its inter-node
+        // bytes at link rate, intra-node traffic moves at memory rate;
+        // the epoch lasts as long as the busiest resource.
+        std::scoped_lock lk(ws.acct_mu);
+        double epoch = 0.0;
+        for (std::size_t n = 0; n < ws.node_inter_sent.size(); ++n) {
+          const double out = static_cast<double>(ws.node_inter_sent[n]) /
+                             cl.net_bandwidth_bps;
+          const double in = static_cast<double>(ws.node_inter_recv[n]) /
+                            cl.net_bandwidth_bps;
+          const double mem =
+              static_cast<double>(ws.node_intra[n]) / cl.mem_bandwidth_bps;
+          epoch = std::max({epoch, out, in, mem});
+        }
+        const double start = std::max(max_clock, ws.last_put_issue);
+        std::fill(ws.node_inter_sent.begin(), ws.node_inter_sent.end(), 0);
+        std::fill(ws.node_inter_recv.begin(), ws.node_inter_recv.end(), 0);
+        std::fill(ws.node_intra.begin(), ws.node_intra.end(), 0);
+        ws.last_put_issue = 0.0;
+        return start + epoch + cl.net_latency_s;
+      });
+  comm_->clock().at_least(release);
+  comm_->epoch_bytes_put_ = 0;
+}
+
+void Window::release() {
+  if (!comm_) return;
+  try {
+    if (!comm_->state_->aborted().load()) {
+      comm_->barrier();  // MPI_Win_free is collective
+    }
+    comm_->state_->window_free(id_);
+  } catch (...) {
+    // Release runs from destructors during unwinding; never propagate.
+  }
+  comm_ = nullptr;
+  id_ = -1;
+}
+
+}  // namespace collrep::simmpi

@@ -1,0 +1,135 @@
+// Comm: the per-rank communication endpoint (MPI communicator analogue).
+//
+// Point-to-point operations are tagged and FIFO-ordered per (source, tag).
+// Sends are buffered (never block); receives block until a matching message
+// arrives.  Typed variants serialize through simmpi::OArchive/IArchive the
+// way Boost.MPI serializes user data structures in the paper's prototype.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simmpi/archive.hpp"
+#include "simmpi/runtime.hpp"
+#include "simtime/cluster.hpp"
+
+namespace collrep::simmpi {
+
+class Window;
+
+class Comm {
+ public:
+  Comm(RunState& state, int rank) : state_(&state), rank_(rank) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return state_->nranks(); }
+  [[nodiscard]] const sim::ClusterConfig& cluster() const noexcept {
+    return state_->cluster();
+  }
+  [[nodiscard]] int node() const noexcept {
+    return cluster().node_of(rank_);
+  }
+
+  [[nodiscard]] sim::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const sim::SimClock& clock() const noexcept { return clock_; }
+  // Charge local compute time to this rank.
+  void charge(double seconds) noexcept { clock_.advance(seconds); }
+
+  // -- point to point -------------------------------------------------------
+  void send_bytes(int dst, int tag, std::span<const std::uint8_t> data);
+  [[nodiscard]] std::vector<std::uint8_t> recv_bytes(int src, int tag);
+
+  template <class T>
+  void send_value(int dst, int tag, const T& value) {
+    OArchive ar;
+    ar.put(value);
+    send_bytes(dst, tag, ar.bytes());
+  }
+
+  template <class T>
+  [[nodiscard]] T recv_value(int src, int tag) {
+    const auto bytes = recv_bytes(src, tag);
+    IArchive ar(bytes);
+    return ar.get<T>();
+  }
+
+  // -- synchronization ------------------------------------------------------
+  void barrier();
+
+  // -- one-sided windows ----------------------------------------------------
+  // Collective: every rank exposes `local_bytes` of zero-initialized memory.
+  [[nodiscard]] Window win_create(std::size_t local_bytes);
+
+  // Tracks per-rank bytes sent/received through windows of the current
+  // epoch (for DumpStats); reset by win_fence.
+  [[nodiscard]] std::uint64_t epoch_bytes_put() const noexcept {
+    return epoch_bytes_put_;
+  }
+
+ private:
+  friend class Window;
+
+  RunState* state_;
+  int rank_;
+  sim::SimClock clock_;
+  std::uint64_t epoch_bytes_put_ = 0;
+  int next_win_id_ = 0;  // advances identically on all ranks (collective)
+};
+
+// RAII handle to one collective window.  Movable, not copyable; must be
+// freed (collectively) via free() or destruction on all ranks.
+class Window {
+ public:
+  Window() = default;
+  Window(Comm& comm, int id) : comm_(&comm), id_(id) {}
+  Window(Window&& o) noexcept { swap(o); }
+  Window& operator=(Window&& o) noexcept {
+    if (this != &o) {
+      release();
+      swap(o);
+    }
+    return *this;
+  }
+  ~Window() { release(); }
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return comm_ != nullptr; }
+
+  // One-sided put of `data` into `target`'s region at byte `offset`.
+  // Callers are responsible for disjoint offsets (guaranteed by CALC_OFF).
+  // `modeled_bytes` overrides the wire size charged to the cost model —
+  // metadata-only exchanges copy small records but must still pay for the
+  // payload bytes they stand in for.  0 means "use data.size()".
+  void put(int target, std::size_t offset, std::span<const std::uint8_t> data,
+           std::uint64_t modeled_bytes = 0);
+
+  // This rank's exposed region.
+  [[nodiscard]] std::span<std::uint8_t> local();
+  [[nodiscard]] std::span<const std::uint8_t> local() const;
+
+  // Collective: completes the access epoch.  All puts issued before the
+  // fence are visible in target regions after it; simulated clocks advance
+  // by the bulk-transfer time of the epoch (max over node NICs).
+  void fence();
+
+  // Collective: releases the window on all ranks.
+  void free() { release(); }
+
+ private:
+  void release();
+  void swap(Window& o) noexcept {
+    std::swap(comm_, o.comm_);
+    std::swap(id_, o.id_);
+  }
+
+  Comm* comm_ = nullptr;
+  int id_ = -1;
+};
+
+}  // namespace collrep::simmpi

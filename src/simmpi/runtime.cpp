@@ -1,0 +1,151 @@
+#include "simmpi/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "simmpi/comm.hpp"
+
+namespace collrep::simmpi {
+
+namespace detail {
+
+void Mailbox::push(int src, int tag, Message msg) {
+  {
+    std::scoped_lock lk(mu_);
+    queues_[key(src, tag)].push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int src, int tag, const std::atomic<bool>& aborted) {
+  std::unique_lock lk(mu_);
+  const Key k = key(src, tag);
+  cv_.wait(lk, [&] {
+    const auto it = queues_.find(k);
+    return (it != queues_.end() && !it->second.empty()) || aborted.load();
+  });
+  const auto it = queues_.find(k);
+  if (it == queues_.end() || it->second.empty()) {
+    throw AbortedError{};
+  }
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return msg;
+}
+
+void Mailbox::notify_abort() { cv_.notify_all(); }
+
+}  // namespace detail
+
+RunState::RunState(int nranks, RuntimeOptions opts)
+    : nranks_(nranks), opts_(std::move(opts)) {
+  if (nranks < 1) throw std::invalid_argument("simmpi: nranks must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+}
+
+void RunState::abort() noexcept {
+  aborted_.store(true);
+  for (auto& mb : mailboxes_) mb->notify_abort();
+  sync_cv_.notify_all();
+}
+
+double RunState::barrier_cost() const noexcept {
+  if (nranks_ <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nranks_)));
+  return 2.0 * rounds * opts_.cluster.net_latency_s;
+}
+
+double RunState::sync(double my_time,
+                      const std::function<double(double)>& on_release) {
+  std::unique_lock lk(sync_mu_);
+  if (aborted_.load()) throw AbortedError{};
+  const std::uint64_t gen = sync_gen_;
+  sync_max_ = std::max(sync_max_, my_time);
+  if (++sync_count_ == nranks_) {
+    const double max_time = sync_max_;
+    sync_release_ =
+        on_release ? on_release(max_time) : max_time + barrier_cost();
+    sync_count_ = 0;
+    sync_max_ = 0.0;
+    ++sync_gen_;
+    sync_cv_.notify_all();
+    return sync_release_;
+  }
+  sync_cv_.wait(lk, [&] { return sync_gen_ != gen || aborted_.load(); });
+  if (sync_gen_ == gen) throw AbortedError{};  // woken by abort
+  return sync_release_;
+}
+
+void RunState::window_register(int rank, int id, std::size_t bytes) {
+  std::scoped_lock lk(win_mu_);
+  if (static_cast<std::size_t>(id) >= windows_.size()) {
+    windows_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  auto& slot = windows_[static_cast<std::size_t>(id)];
+  if (!slot) {
+    slot = std::make_unique<detail::WindowState>(
+        nranks_, opts_.cluster.node_count(nranks_));
+  }
+  slot->buffers[static_cast<std::size_t>(rank)].assign(bytes, 0);
+}
+
+detail::WindowState& RunState::window(int id) {
+  std::scoped_lock lk(win_mu_);
+  auto& ws = windows_.at(static_cast<std::size_t>(id));
+  if (!ws) throw std::logic_error("simmpi: window already freed");
+  return *ws;
+}
+
+void RunState::window_free(int id) {
+  std::scoped_lock lk(win_mu_);
+  auto& ws = windows_.at(static_cast<std::size_t>(id));
+  if (!ws) throw std::logic_error("simmpi: double free of window");
+  if (++ws->free_count == nranks_) {
+    ws.reset();  // all ranks released; reclaim memory, keep the slot
+  }
+}
+
+Runtime::Runtime(int nranks, RuntimeOptions opts)
+    : nranks_(nranks), opts_(std::move(opts)) {
+  if (nranks < 1) throw std::invalid_argument("simmpi: nranks must be >= 1");
+}
+
+void Runtime::run(const std::function<void(Comm&)>& body) {
+  RunState state(nranks_, opts_);
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(state, r);
+      try {
+        body(comm);
+      } catch (const AbortedError&) {
+        // Secondary failure caused by a peer's abort; the primary
+        // exception is already recorded (or will be by its owner).
+      } catch (...) {
+        {
+          std::scoped_lock lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        state.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  if (state.aborted().load()) {
+    throw std::runtime_error("simmpi: run aborted without recorded cause");
+  }
+}
+
+}  // namespace collrep::simmpi

@@ -1,0 +1,156 @@
+// In-process SPMD message-passing runtime (MPI substitute).
+//
+// Ranks are threads executing the same body; they exchange tagged messages
+// through per-rank mailboxes, synchronize through clock-aligning barriers,
+// and expose one-sided windows with MPI-like create/put/fence semantics.
+// Every operation charges simulated time on the owning rank's SimClock
+// according to the sim::ClusterConfig cost model, so a run yields both real
+// results and deterministic simulated phase timings (see DESIGN.md §1).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "simtime/cluster.hpp"
+
+namespace collrep::simmpi {
+
+class Comm;
+
+// Thrown inside ranks blocked on communication when a sibling rank failed;
+// the originating exception is what Runtime::run() rethrows.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("simmpi: run aborted by peer failure") {}
+};
+
+struct RuntimeOptions {
+  sim::ClusterConfig cluster = sim::ClusterConfig::shamrock();
+};
+
+namespace detail {
+
+struct Message {
+  std::vector<std::uint8_t> payload;
+  double arrival_time = 0.0;
+};
+
+class Mailbox {
+ public:
+  void push(int src, int tag, Message msg);
+  // Blocks until a message with (src, tag) is available or the run aborts.
+  Message pop(int src, int tag, const std::atomic<bool>& aborted);
+  void notify_abort();
+
+ private:
+  using Key = std::uint64_t;
+  static Key key(int src, int tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Message>> queues_;
+};
+
+struct WindowState {
+  explicit WindowState(int nranks, int nnodes)
+      : buffers(nranks),
+        locks(std::make_unique<std::mutex[]>(static_cast<std::size_t>(nranks))),
+        node_inter_sent(nnodes, 0),
+        node_inter_recv(nnodes, 0),
+        node_intra(nnodes, 0) {}
+
+  std::vector<std::vector<std::uint8_t>> buffers;  // one region per rank
+  std::unique_ptr<std::mutex[]> locks;             // guards buffers[i]
+
+  // Per-epoch accounting for the bulk-synchronous transfer model: the
+  // fence charges max over nodes of NIC-in / NIC-out / memory traffic.
+  std::mutex acct_mu;
+  std::vector<std::uint64_t> node_inter_sent;
+  std::vector<std::uint64_t> node_inter_recv;
+  std::vector<std::uint64_t> node_intra;
+  double last_put_issue = 0.0;
+  int free_count = 0;
+};
+
+}  // namespace detail
+
+// Shared state of one SPMD run; owned by Runtime, referenced by Comms.
+class RunState {
+ public:
+  RunState(int nranks, RuntimeOptions opts);
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] const sim::ClusterConfig& cluster() const noexcept {
+    return opts_.cluster;
+  }
+
+  detail::Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  [[nodiscard]] const std::atomic<bool>& aborted() const noexcept {
+    return aborted_;
+  }
+
+  void abort() noexcept;
+
+  // Clock-aligning rendezvous: every rank contributes its clock; the last
+  // arriving rank maps the maximum through `on_release` (may be null for a
+  // plain barrier) and all ranks return that release time.
+  double sync(double my_time,
+              const std::function<double(double)>& on_release = nullptr);
+
+  // Windows.  Creation is collective: every rank registers the same id
+  // (ids come from a per-rank counter that advances identically on all
+  // ranks because win_create is collective) along with its region size.
+  void window_register(int rank, int id, std::size_t bytes);
+  detail::WindowState& window(int id);
+  void window_free(int id);
+
+  [[nodiscard]] double barrier_cost() const noexcept;
+
+ private:
+  int nranks_;
+  RuntimeOptions opts_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  int sync_count_ = 0;
+  std::uint64_t sync_gen_ = 0;
+  double sync_max_ = 0.0;
+  double sync_release_ = 0.0;
+
+  std::mutex win_mu_;
+  std::vector<std::unique_ptr<detail::WindowState>> windows_;
+};
+
+// Runs `body` as an SPMD program over `nranks` ranks (threads).  If any
+// rank throws, the run aborts and the first non-abort exception is
+// rethrown from run().
+class Runtime {
+ public:
+  explicit Runtime(int nranks, RuntimeOptions opts = {});
+
+  void run(const std::function<void(Comm&)>& body);
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] const RuntimeOptions& options() const noexcept { return opts_; }
+
+ private:
+  int nranks_;
+  RuntimeOptions opts_;
+};
+
+}  // namespace collrep::simmpi

@@ -1,0 +1,135 @@
+// Unit tests for the serialization archive (the Boost.MPI-serialization
+// substitute) and the chunk Manifest wire format.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunk/manifest.hpp"
+#include "hash/fingerprint.hpp"
+#include "simmpi/archive.hpp"
+
+namespace {
+
+using namespace collrep;
+using simmpi::from_bytes;
+using simmpi::IArchive;
+using simmpi::OArchive;
+using simmpi::to_bytes;
+
+template <class T>
+T round_trip(const T& value) {
+  return from_bytes<T>(to_bytes(value));
+}
+
+TEST(Archive, TrivialTypes) {
+  EXPECT_EQ(round_trip(42), 42);
+  EXPECT_EQ(round_trip(std::uint64_t{0xDEADBEEFCAFEF00Dull}),
+            0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(round_trip(-7.25), -7.25);
+  EXPECT_EQ(round_trip('x'), 'x');
+  EXPECT_EQ(round_trip(true), true);
+}
+
+TEST(Archive, TrivialStruct) {
+  struct Pod {
+    int a;
+    double b;
+    bool operator==(const Pod&) const = default;
+  };
+  EXPECT_EQ(round_trip(Pod{3, 1.5}), (Pod{3, 1.5}));
+}
+
+TEST(Archive, VectorOfTrivials) {
+  const std::vector<std::uint32_t> v{1, 2, 3, 0xFFFFFFFF};
+  EXPECT_EQ(round_trip(v), v);
+  EXPECT_EQ(round_trip(std::vector<std::uint32_t>{}),
+            std::vector<std::uint32_t>{});
+}
+
+TEST(Archive, VectorOfVectors) {
+  const std::vector<std::vector<int>> v{{1, 2}, {}, {3}};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Archive, Strings) {
+  EXPECT_EQ(round_trip(std::string{"hello archive"}), "hello archive");
+  EXPECT_EQ(round_trip(std::string{}), "");
+  const std::string binary{"\x00\x01\xFF", 3};
+  EXPECT_EQ(round_trip(binary), binary);
+}
+
+TEST(Archive, Pairs) {
+  const std::pair<int, std::string> p{7, "seven"};
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(Archive, Maps) {
+  const std::map<int, std::string> m{{1, "one"}, {2, "two"}};
+  EXPECT_EQ(round_trip(m), m);
+  const std::unordered_map<std::string, int> um{{"a", 1}, {"b", 2}};
+  EXPECT_EQ(round_trip(um), um);
+}
+
+TEST(Archive, Fingerprints) {
+  const auto fp = hash::Fingerprint::from_u64(0xABCDEF);
+  EXPECT_EQ(round_trip(fp), fp);
+  const std::vector<hash::Fingerprint> v{fp, hash::Fingerprint{}};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Archive, MultipleValuesSequenced) {
+  OArchive out;
+  out.put(1);
+  out.put(std::string{"mid"});
+  out.put(2.5);
+  IArchive in(out.bytes());
+  EXPECT_EQ(in.get<int>(), 1);
+  EXPECT_EQ(in.get<std::string>(), "mid");
+  EXPECT_EQ(in.get<double>(), 2.5);
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(Archive, TruncatedBufferThrows) {
+  const auto bytes = to_bytes(std::uint64_t{1});
+  IArchive in(std::span<const std::uint8_t>{bytes.data(), bytes.size() - 1});
+  EXPECT_THROW((void)in.get<std::uint64_t>(), std::runtime_error);
+}
+
+TEST(Archive, CorruptSizeThrows) {
+  OArchive out;
+  out.put_size(1u << 30);  // claims a huge vector, provides no elements
+  IArchive in(out.bytes());
+  EXPECT_THROW((void)in.get<std::vector<std::uint64_t>>(),
+               std::runtime_error);
+}
+
+TEST(Archive, ManifestRoundTrip) {
+  chunk::Manifest m;
+  m.owner_rank = 11;
+  m.epoch = 42;
+  m.segment_sizes = {4096, 1024};
+  m.entries = {{hash::Fingerprint::from_u64(1), 256},
+               {hash::Fingerprint::from_u64(2), 128}};
+  const auto got = round_trip(m);
+  EXPECT_EQ(got.owner_rank, 11);
+  EXPECT_EQ(got.epoch, 42u);
+  EXPECT_EQ(got.segment_sizes, m.segment_sizes);
+  ASSERT_EQ(got.entries.size(), 2u);
+  EXPECT_EQ(got.entries[0].fp, m.entries[0].fp);
+  EXPECT_EQ(got.entries[1].length, 128u);
+  EXPECT_EQ(got.total_bytes(), 5120u);
+}
+
+TEST(Archive, ManifestWireBytesTracksEntryCount) {
+  chunk::Manifest small;
+  small.entries.resize(1);
+  chunk::Manifest large;
+  large.entries.resize(100);
+  EXPECT_GT(chunk::manifest_wire_bytes(large),
+            chunk::manifest_wire_bytes(small));
+}
+
+}  // namespace

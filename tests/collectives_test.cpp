@@ -1,0 +1,169 @@
+// Collectives vs sequential oracles, across a sweep of rank counts
+// (including non-powers of two, which stress the binomial trees).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "simmpi/collectives.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using namespace collrep;
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    for (int root = 0; root < n; ++root) {
+      std::string value =
+          comm.rank() == root ? "payload-" + std::to_string(root) : "";
+      simmpi::bcast(comm, value, root);
+      EXPECT_EQ(value, "payload-" + std::to_string(root));
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceSumAtRoot) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    const int got = simmpi::reduce(
+        comm, comm.rank() + 1, [](int a, int b) { return a + b; }, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(got, n * (n + 1) / 2);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceSumEverywhere) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    EXPECT_EQ(simmpi::allreduce_sum(comm, comm.rank() + 1),
+              n * (n + 1) / 2);
+    EXPECT_EQ(simmpi::allreduce_max(comm, comm.rank()), n - 1);
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceMergesSetsLikeHmerge) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    // Multiset-union operator (associative + commutative, like HMERGE).
+    std::map<int, int> mine{{comm.rank() % 3, 1}};
+    const auto merged = simmpi::allreduce(
+        comm, mine, [](std::map<int, int> a, std::map<int, int> b) {
+          for (const auto& [k, v] : b) a[k] += v;
+          return a;
+        });
+    int total = 0;
+    for (const auto& [k, v] : merged) total += v;
+    EXPECT_EQ(total, n);  // every rank contributed exactly once
+  });
+}
+
+TEST_P(CollectiveSweep, GatherCollectsByRank) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    const auto got = simmpi::gather(comm, comm.rank() * 2, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(got.size()), n);
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(got[static_cast<std::size_t>(r)], r * 2);
+      }
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ScatterDistributesByRank) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<std::string> values;
+    if (comm.rank() == 0) {
+      for (int r = 0; r < n; ++r) values.push_back("slot" + std::to_string(r));
+    }
+    const auto mine = simmpi::scatter(comm, values, 0);
+    EXPECT_EQ(mine, "slot" + std::to_string(comm.rank()));
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherEveryRankSeesAll) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    const auto all = simmpi::allgather(comm, comm.rank() * comm.rank());
+    ASSERT_EQ(static_cast<int>(all.size()), n);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * r);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherOfVectors) {
+  const int n = GetParam();
+  simmpi::Runtime rt(n);
+  rt.run([&](simmpi::Comm& comm) {
+    const std::vector<std::uint64_t> mine(
+        static_cast<std::size_t>(comm.rank() + 1),
+        static_cast<std::uint64_t>(comm.rank()));
+    const auto all = simmpi::allgather(comm, mine);
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+      EXPECT_EQ(all[static_cast<std::size_t>(r)][0],
+                static_cast<std::uint64_t>(r));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 17));
+
+TEST(Collectives, BcastLargePayload) {
+  simmpi::Runtime rt(6);
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<std::uint8_t> data;
+    if (comm.rank() == 0) data.assign(1 << 18, 0xCD);
+    simmpi::bcast(comm, data, 0);
+    ASSERT_EQ(data.size(), static_cast<std::size_t>(1 << 18));
+    EXPECT_EQ(data[12345], 0xCD);
+  });
+}
+
+TEST(Collectives, ReduceIsDeterministicAcrossRuns) {
+  // Floating-point reduction order is fixed by the binomial tree, so two
+  // identical runs produce bit-identical results.
+  const auto run_once = [] {
+    simmpi::Runtime rt(7);
+    double result = 0.0;
+    rt.run([&](simmpi::Comm& comm) {
+      const double mine = 0.1 * (comm.rank() + 1);
+      const double sum =
+          simmpi::allreduce(comm, mine, [](double a, double b) { return a + b; });
+      if (comm.rank() == 0) result = sum;
+    });
+    return result;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Collectives, AllreduceAdvancesSimulatedTime) {
+  simmpi::Runtime rt(8);
+  rt.run([&](simmpi::Comm& comm) {
+    const double before = comm.clock().now();
+    (void)simmpi::allreduce_sum(comm, 1);
+    comm.barrier();
+    EXPECT_GT(comm.clock().now(), before);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// LZSS compression: round trips across data shapes, ratio sanity on
+// compressible vs incompressible inputs, and malformed-stream rejection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/rng.hpp"
+#include "chunk/compress.hpp"
+
+namespace {
+
+using namespace collrep;
+using chunk::lzss_compress;
+using chunk::lzss_decompress;
+
+std::vector<std::uint8_t> round_trip(const std::vector<std::uint8_t>& data) {
+  return lzss_decompress(lzss_compress(data));
+}
+
+TEST(Lzss, EmptyInput) {
+  const std::vector<std::uint8_t> empty;
+  const auto packed = lzss_compress(empty);
+  EXPECT_EQ(lzss_decompress(packed), empty);
+}
+
+TEST(Lzss, SingleByte) {
+  const std::vector<std::uint8_t> one{0x42};
+  EXPECT_EQ(round_trip(one), one);
+}
+
+TEST(Lzss, AllZerosCompressesHard) {
+  const std::vector<std::uint8_t> zeros(16384, 0);
+  const auto packed = lzss_compress(zeros);
+  EXPECT_EQ(lzss_decompress(packed), zeros);
+  EXPECT_LT(packed.size(), zeros.size() / 5);
+}
+
+TEST(Lzss, RepeatingPatternCompresses) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 1000; ++i) {
+    for (std::uint8_t b : {0x10, 0x22, 0x37, 0x4D, 0x58}) data.push_back(b);
+  }
+  const auto packed = lzss_compress(data);
+  EXPECT_EQ(lzss_decompress(packed), data);
+  EXPECT_LT(packed.size(), data.size() / 3);
+}
+
+TEST(Lzss, RandomDataDoesNotExplode) {
+  std::vector<std::uint8_t> data(8192);
+  apps::SplitMix64 rng(404);
+  rng.fill(data);
+  const auto packed = lzss_compress(data);
+  EXPECT_EQ(lzss_decompress(packed), data);
+  // Incompressible: at worst 1/8 flag overhead + header.
+  EXPECT_LT(packed.size(), data.size() + data.size() / 7 + 16);
+}
+
+TEST(Lzss, LongRangeMatchesWithinWindow) {
+  // A block repeated at distance < 4096 must be found; beyond the window
+  // it cannot be (still lossless, just larger).
+  std::vector<std::uint8_t> block(512);
+  apps::SplitMix64 rng(7);
+  rng.fill(block);
+  std::vector<std::uint8_t> near = block;
+  near.insert(near.end(), block.begin(), block.end());  // distance 512
+  const auto near_packed = lzss_compress(near);
+  EXPECT_LT(near_packed.size(), block.size() + block.size() / 2);
+  EXPECT_EQ(lzss_decompress(near_packed), near);
+
+  std::vector<std::uint8_t> far = block;
+  std::vector<std::uint8_t> filler(5000);
+  rng.fill(filler);
+  far.insert(far.end(), filler.begin(), filler.end());
+  far.insert(far.end(), block.begin(), block.end());  // distance > window
+  EXPECT_EQ(lzss_decompress(lzss_compress(far)), far);
+}
+
+class LzssFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LzssFuzz, RandomStructuredRoundTrips) {
+  apps::SplitMix64 rng(GetParam() * 7919);
+  std::vector<std::uint8_t> data;
+  const int pieces = 1 + static_cast<int>(rng.next() % 20);
+  for (int p = 0; p < pieces; ++p) {
+    const auto kind = rng.next() % 3;
+    const auto len = 1 + rng.next() % 2000;
+    if (kind == 0) {  // constant run
+      data.insert(data.end(), len, static_cast<std::uint8_t>(rng.next()));
+    } else if (kind == 1 && !data.empty()) {  // self-copy
+      const auto src = rng.next() % data.size();
+      for (std::uint64_t i = 0; i < len; ++i) {
+        data.push_back(data[(src + i) % data.size()]);
+      }
+    } else {  // noise
+      std::vector<std::uint8_t> noise(len);
+      rng.fill(noise);
+      data.insert(data.end(), noise.begin(), noise.end());
+    }
+  }
+  EXPECT_EQ(round_trip(data), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzssFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(Lzss, MalformedStreamsRejected) {
+  EXPECT_THROW((void)lzss_decompress(std::vector<std::uint8_t>{1, 2}),
+               std::runtime_error);
+  // Claims 100 bytes but provides none.
+  std::vector<std::uint8_t> truncated{100, 0, 0, 0};
+  EXPECT_THROW((void)lzss_decompress(truncated), std::runtime_error);
+  // Match referencing before the start of output.
+  std::vector<std::uint8_t> bad_dist{4, 0, 0, 0, 0x01, 0xFF, 0xFF};
+  EXPECT_THROW((void)lzss_decompress(bad_dist), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// RANK_SHUFFLE (Algorithm 2) and CALC_OFF (Algorithm 3) properties,
+// including the paper's Fig. 2 worked example and the disjoint-tiling
+// invariant of the single-sided window offsets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "apps/rng.hpp"
+#include "core/planner.hpp"
+
+namespace {
+
+using namespace collrep;
+using core::identity_shuffle;
+using core::invert_shuffle;
+using core::partner_at;
+using core::put_offset_chunks;
+using core::rank_shuffle;
+using core::receive_chunks_per_rank;
+using core::SendMatrix;
+using core::window_chunks;
+
+SendMatrix uniform_sends(int n, int k, std::uint64_t per_slot) {
+  SendMatrix m(n, k);
+  for (int r = 0; r < n; ++r) {
+    for (int p = 1; p < k; ++p) m.at(r, p) = per_slot;
+  }
+  return m;
+}
+
+bool is_permutation_of_ranks(const std::vector<int>& shuffle, int n) {
+  std::vector<int> sorted = shuffle;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < n; ++i) {
+    if (sorted[static_cast<std::size_t>(i)] != i) return false;
+  }
+  return true;
+}
+
+TEST(RankShuffle, PaperFigure2Example) {
+  // Six processes, K=3: the first two send 100 chunks to each partner,
+  // the rest send 10.  Naive selection peaks at 200 received chunks;
+  // load-aware shuffling must bring the maximum down to 110.
+  constexpr int kN = 6;
+  constexpr int kK = 3;
+  SendMatrix m(kN, kK);
+  for (int r = 0; r < kN; ++r) {
+    const std::uint64_t load = r < 2 ? 100 : 10;
+    m.at(r, 1) = load;
+    m.at(r, 2) = load;
+  }
+
+  const auto naive = identity_shuffle(kN);
+  const auto naive_recv = receive_chunks_per_rank(m, naive);
+  EXPECT_EQ(*std::max_element(naive_recv.begin(), naive_recv.end()), 200u);
+
+  const auto shuffled = rank_shuffle(m, kK);
+  EXPECT_TRUE(is_permutation_of_ranks(shuffled, kN));
+  const auto recv = receive_chunks_per_rank(m, shuffled);
+  EXPECT_EQ(*std::max_element(recv.begin(), recv.end()), 110u);
+}
+
+TEST(RankShuffle, HeavyRanksAreSeparated) {
+  constexpr int kN = 8;
+  constexpr int kK = 3;
+  SendMatrix m(kN, kK);
+  for (int r = 0; r < kN; ++r) {
+    const std::uint64_t load = r < 2 ? 50 : 5;
+    m.at(r, 1) = load;
+    m.at(r, 2) = load;
+  }
+  const auto shuffle = rank_shuffle(m, kK);
+  const auto pos = invert_shuffle(shuffle);
+  // The two heavy ranks must not be ring-adjacent within K-1 hops.
+  const int gap = std::abs(pos[0] - pos[1]);
+  EXPECT_GE(std::min(gap, kN - gap), kK - 1);
+}
+
+TEST(RankShuffle, UniformLoadIsStillAPermutation) {
+  const auto m = uniform_sends(10, 4, 7);
+  const auto shuffle = rank_shuffle(m, 4);
+  EXPECT_TRUE(is_permutation_of_ranks(shuffle, 10));
+}
+
+TEST(RankShuffle, SingleRank) {
+  const auto m = uniform_sends(1, 1, 0);
+  EXPECT_EQ(rank_shuffle(m, 1), std::vector<int>{0});
+}
+
+TEST(RankShuffle, DeterministicForEqualLoads) {
+  const auto m = uniform_sends(9, 3, 1);
+  EXPECT_EQ(rank_shuffle(m, 3), rank_shuffle(m, 3));
+}
+
+TEST(IdentityShuffle, IsIota) {
+  const auto id = identity_shuffle(5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(id[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InvertShuffle, RoundTrips) {
+  const std::vector<int> shuffle{3, 1, 4, 0, 2};
+  const auto pos = invert_shuffle(shuffle);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(pos[static_cast<std::size_t>(
+                  shuffle[static_cast<std::size_t>(i)])],
+              i);
+  }
+}
+
+TEST(PartnerAt, RingWrapsAround) {
+  const auto id = identity_shuffle(4);
+  EXPECT_EQ(partner_at(id, 3, 1), 0);
+  EXPECT_EQ(partner_at(id, 2, 2), 0);
+  EXPECT_EQ(partner_at(id, 0, 1), 1);
+}
+
+// The load-aware shuffle must never do worse than naive on max receive.
+class ShuffleNeverHurts : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShuffleNeverHurts, MaxReceiveBounded) {
+  apps::SplitMix64 rng(GetParam());
+  const int n = 4 + static_cast<int>(rng.next() % 29);
+  const int k = 2 + static_cast<int>(rng.next() % 4);
+  SendMatrix m(n, k);
+  for (int r = 0; r < n; ++r) {
+    // Skewed loads: a few heavy ranks, mostly light ones.
+    const bool heavy = rng.next_double() < 0.2;
+    for (int p = 1; p < k; ++p) {
+      m.at(r, p) = (heavy ? 200 : 10) + rng.next() % 10;
+    }
+  }
+  const auto naive_recv = receive_chunks_per_rank(m, identity_shuffle(n));
+  const auto smart_recv = receive_chunks_per_rank(m, rank_shuffle(m, k));
+  const auto naive_max =
+      *std::max_element(naive_recv.begin(), naive_recv.end());
+  const auto smart_max =
+      *std::max_element(smart_recv.begin(), smart_recv.end());
+  // Conservation: total received == total sent under both arrangements.
+  const auto total = [&](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  EXPECT_EQ(total(naive_recv), total(smart_recv));
+  // The shuffle is a heuristic: on arbitrary load patterns it may lose to
+  // naive by a little, but never catastrophically, and never below the
+  // perfect-balance lower bound.
+  EXPECT_LE(smart_max, 2 * naive_max);
+  EXPECT_GE(smart_max,
+            (total(smart_recv) + static_cast<std::uint64_t>(n) - 1) /
+                static_cast<std::uint64_t>(n));
+}
+
+// The pattern the shuffle is designed for (paper Fig. 2): heavy senders
+// adjacent in rank order.  Here the shuffle must strictly improve.
+TEST(RankShuffle, ImprovesAdjacentHeavyRanks) {
+  for (int n : {6, 12, 24, 48}) {
+    for (int k : {3, 4, 6}) {
+      // With n < 2k every receiver has both heavy ranks among its K-1
+      // upstream senders no matter the arrangement; separation needs
+      // room in the ring.
+      if (n < 2 * k) continue;
+      SendMatrix m(n, k);
+      for (int r = 0; r < n; ++r) {
+        for (int p = 1; p < k; ++p) m.at(r, p) = r < 2 ? 100 : 10;
+      }
+      const auto naive_recv = receive_chunks_per_rank(m, identity_shuffle(n));
+      const auto smart_recv = receive_chunks_per_rank(m, rank_shuffle(m, k));
+      EXPECT_LT(*std::max_element(smart_recv.begin(), smart_recv.end()),
+                *std::max_element(naive_recv.begin(), naive_recv.end()))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoads, ShuffleNeverHurts,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// CALC_OFF invariant: within every receiver window, the K-1 sender regions
+// are pairwise disjoint and tile [0, window_chunks) exactly.
+class OffsetTiling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OffsetTiling, RegionsTileEveryWindow) {
+  apps::SplitMix64 rng(GetParam() * 977);
+  const int n = 3 + static_cast<int>(rng.next() % 14);
+  const int k = 2 + static_cast<int>(rng.next() % std::min(5, n - 1));
+  SendMatrix m(n, k);
+  for (int r = 0; r < n; ++r) {
+    for (int p = 1; p < k; ++p) m.at(r, p) = rng.next() % 40;
+  }
+  const auto shuffle =
+      GetParam() % 2 == 0 ? rank_shuffle(m, k) : identity_shuffle(n);
+
+  for (int w_pos = 0; w_pos < n; ++w_pos) {
+    const auto window = window_chunks(m, shuffle, w_pos);
+    // Collect [begin, end) per sender writing into this window.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> regions;
+    for (int d = 1; d < k; ++d) {
+      const int sender_pos = ((w_pos - d) % n + n) % n;
+      const int sender = shuffle[static_cast<std::size_t>(sender_pos)];
+      const auto begin = put_offset_chunks(m, shuffle, sender_pos, d);
+      regions.emplace_back(begin, begin + m.at(sender, d));
+    }
+    std::sort(regions.begin(), regions.end());
+    std::uint64_t cursor = 0;
+    for (const auto& [begin, end] : regions) {
+      EXPECT_EQ(begin, cursor) << "gap or overlap in window " << w_pos;
+      cursor = end;
+    }
+    EXPECT_EQ(cursor, window) << "window " << w_pos << " not fully tiled";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, OffsetTiling,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Offsets, PaperProseExample) {
+  // "rank i uses offset 0 for its partner i+1, offset j for its partner
+  // i+2 (where j is the send size from i+1 to i+2)".
+  constexpr int kN = 5;
+  constexpr int kK = 3;
+  SendMatrix m(kN, kK);
+  for (int r = 0; r < kN; ++r) {
+    m.at(r, 1) = 10 + static_cast<std::uint64_t>(r);
+    m.at(r, 2) = 20 + static_cast<std::uint64_t>(r);
+  }
+  const auto id = identity_shuffle(kN);
+  EXPECT_EQ(put_offset_chunks(m, id, 0, 1), 0u);
+  // Partner of rank 0 at slot 2 is rank 2; rank 1 sends m.at(1, 1) chunks
+  // to rank 2 (its slot-1 partner), occupying the window first.
+  EXPECT_EQ(put_offset_chunks(m, id, 0, 2), m.at(1, 1));
+}
+
+TEST(SendMatrix, RowAccessors) {
+  SendMatrix m(3, 2);
+  const std::vector<std::uint64_t> row{5, 9};
+  m.set_row(1, row);
+  EXPECT_EQ(m.at(1, 0), 5u);
+  EXPECT_EQ(m.at(1, 1), 9u);
+  EXPECT_EQ(m.total_send(1), 9u);
+  EXPECT_THROW(m.set_row(0, std::vector<std::uint64_t>{1}),
+               std::invalid_argument);
+}
+
+}  // namespace

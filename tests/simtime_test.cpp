@@ -1,0 +1,76 @@
+// Cost-model unit tests: topology mapping, transfer-time arithmetic,
+// clock monotonicity, phase-breakdown algebra.
+#include <gtest/gtest.h>
+
+#include "simtime/cluster.hpp"
+
+namespace {
+
+using collrep::sim::ClusterConfig;
+using collrep::sim::PhaseBreakdown;
+using collrep::sim::SimClock;
+
+TEST(ClusterConfig, NodeMapping) {
+  ClusterConfig c;
+  c.ranks_per_node = 12;
+  EXPECT_EQ(c.node_of(0), 0);
+  EXPECT_EQ(c.node_of(11), 0);
+  EXPECT_EQ(c.node_of(12), 1);
+  EXPECT_EQ(c.node_of(407), 33);
+  EXPECT_EQ(c.node_count(408), 34);  // the Shamrock reservation
+  EXPECT_EQ(c.node_count(409), 35);
+  EXPECT_TRUE(c.same_node(3, 11));
+  EXPECT_FALSE(c.same_node(11, 12));
+}
+
+TEST(ClusterConfig, DegenerateRanksPerNode) {
+  ClusterConfig c;
+  c.ranks_per_node = 0;  // treated as 1 (no division by zero)
+  EXPECT_EQ(c.node_of(5), 5);
+  EXPECT_EQ(c.node_count(4), 4);
+}
+
+TEST(ClusterConfig, MessageTimeSplitsByLocality) {
+  ClusterConfig c;
+  c.ranks_per_node = 2;
+  const auto intra = c.message_time(0, 1, 1 << 20);
+  const auto inter = c.message_time(0, 2, 1 << 20);
+  EXPECT_LT(intra, inter);
+  // Both include the latency floor.
+  EXPECT_GE(intra, c.net_latency_s);
+  // Inter-node: latency + bytes / NIC bandwidth.
+  EXPECT_NEAR(inter, c.net_latency_s + (1 << 20) / c.net_bandwidth_bps,
+              1e-12);
+}
+
+TEST(SimClock, MonotoneUnderAllOperations) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.advance(-3.0);  // ignored
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.at_least(1.0);  // already past
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.at_least(2.0);
+  EXPECT_EQ(clock.now(), 2.0);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(PhaseBreakdown, TotalAndAccumulate) {
+  PhaseBreakdown a;
+  a.hash_s = 1;
+  a.reduction_s = 2;
+  a.planning_s = 3;
+  a.exchange_s = 4;
+  a.storage_s = 5;
+  EXPECT_DOUBLE_EQ(a.total(), 15.0);
+
+  PhaseBreakdown b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.total(), 30.0);
+  EXPECT_DOUBLE_EQ(b.exchange_s, 8.0);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Stress and ordering tests for the runtime: ordered (non-commutative-
+// looking) reductions, large payloads, window fan-in, and repeated
+// checkpoint epochs through the full pipeline.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "apps/rng.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace collrep;
+
+TEST(Stress, OrderedConcatAllreduce) {
+  // The binomial combination is rank-ordered, so an associative (but not
+  // commutative) concatenation must produce r0 r1 ... r(n-1) everywhere.
+  for (const int n : {1, 2, 5, 8, 13}) {
+    simmpi::Runtime rt(n);
+    rt.run([&](simmpi::Comm& comm) {
+      const std::string mine = "r" + std::to_string(comm.rank()) + " ";
+      const auto all = simmpi::allreduce(
+          comm, mine,
+          [](std::string a, std::string b) { return a + b; });
+      std::string expected;
+      for (int r = 0; r < n; ++r) expected += "r" + std::to_string(r) + " ";
+      EXPECT_EQ(all, expected);
+    });
+  }
+}
+
+TEST(Stress, LargeAllgatherPayloads) {
+  constexpr int kRanks = 12;
+  simmpi::Runtime rt(kRanks);
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<std::uint8_t> mine(64 * 1024);
+    apps::SplitMix64 rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+    rng.fill(mine);
+    const auto all = simmpi::allgather(comm, mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kRanks));
+    for (int r = 0; r < kRanks; ++r) {
+      std::vector<std::uint8_t> expected(64 * 1024);
+      apps::SplitMix64 check(static_cast<std::uint64_t>(r) + 1);
+      check.fill(expected);
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], expected) << "rank " << r;
+    }
+  });
+}
+
+TEST(Stress, WindowFanInFromAllRanks) {
+  // Every rank puts a distinct cell into rank 0's window; heavy lock
+  // contention on one target must stay correct.
+  constexpr int kRanks = 24;
+  simmpi::Runtime rt(kRanks);
+  rt.run([&](simmpi::Comm& comm) {
+    auto win = comm.win_create(comm.rank() == 0 ? kRanks * 8 : 0);
+    std::vector<std::uint8_t> cell(8, static_cast<std::uint8_t>(comm.rank()));
+    win.put(0, static_cast<std::size_t>(comm.rank()) * 8, cell);
+    win.fence();
+    if (comm.rank() == 0) {
+      const auto local = win.local();
+      for (int r = 0; r < kRanks; ++r) {
+        EXPECT_EQ(local[static_cast<std::size_t>(r) * 8], r);
+        EXPECT_EQ(local[static_cast<std::size_t>(r) * 8 + 7], r);
+      }
+    }
+    win.free();
+  });
+}
+
+TEST(Stress, RepeatedEpochsKeepNewestRestorable) {
+  // Ten checkpoint epochs with evolving data; the restore must always
+  // reflect the last epoch, with stores accumulating chunk history.
+  constexpr int kRanks = 4;
+  constexpr int kEpochs = 10;
+  std::vector<chunk::ChunkStore> stores(kRanks);
+  std::vector<std::vector<std::uint8_t>> latest(kRanks);
+
+  simmpi::Runtime rt(kRanks);
+  rt.run([&](simmpi::Comm& comm) {
+    const int r = comm.rank();
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      std::vector<std::uint8_t> data(2048);
+      apps::SplitMix64 rng(
+          static_cast<std::uint64_t>(epoch) * 100 + static_cast<std::uint64_t>(r));
+      rng.fill(data);
+      chunk::Dataset ds;
+      ds.add_segment(data);
+      core::DumpConfig cfg;
+      cfg.chunk_bytes = 256;
+      cfg.epoch = static_cast<std::uint64_t>(epoch);
+      core::Dumper dumper(comm, stores[static_cast<std::size_t>(r)], cfg);
+      (void)dumper.dump_output(ds, 2);
+      latest[static_cast<std::size_t>(r)] = std::move(data);
+    }
+  });
+
+  std::vector<chunk::ChunkStore*> ptrs;
+  for (auto& s : stores) ptrs.push_back(&s);
+  for (int r = 0; r < kRanks; ++r) {
+    const auto restored = core::restore_rank(ptrs, r);
+    EXPECT_EQ(restored.segments.at(0), latest[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Stress, ManyWindowsInFlight) {
+  // Eight concurrent windows with puts issued before any fence; each
+  // window's content must come from the right epoch and sender.
+  constexpr int kRanks = 6;
+  simmpi::Runtime rt(kRanks);
+  rt.run([&](simmpi::Comm& comm) {
+    std::vector<simmpi::Window> windows;
+    for (int w = 0; w < 8; ++w) {
+      windows.push_back(comm.win_create(2 * kRanks));
+    }
+    for (int w = 0; w < 8; ++w) {
+      const std::vector<std::uint8_t> cell(
+          2, static_cast<std::uint8_t>(w * 16 + comm.rank()));
+      windows[static_cast<std::size_t>(w)].put(
+          (comm.rank() + 1 + w) % kRanks,
+          static_cast<std::size_t>(comm.rank()) * 2, cell);
+    }
+    for (auto& w : windows) w.fence();
+    for (int w = 0; w < 8; ++w) {
+      const int sender = ((comm.rank() - 1 - w) % kRanks + kRanks) % kRanks;
+      const auto local = windows[static_cast<std::size_t>(w)].local();
+      EXPECT_EQ(local[static_cast<std::size_t>(sender) * 2],
+                static_cast<std::uint8_t>(w * 16 + sender));
+    }
+    for (auto& w : windows) w.free();
+  });
+}
+
+}  // namespace

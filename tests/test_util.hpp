@@ -1,0 +1,88 @@
+// Shared helpers for the CollRep test suites.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/collrep.hpp"
+
+namespace collrep::test {
+
+// Runs an SPMD body over `nranks` and returns per-rank dump stats.
+struct DumpRun {
+  std::vector<core::DumpStats> stats;
+  std::vector<chunk::ChunkStore> stores;
+  std::vector<std::vector<std::uint8_t>> datasets;
+};
+
+using DataGen = std::function<std::vector<std::uint8_t>(int rank)>;
+
+inline DumpRun run_dump(int nranks, int k, const core::DumpConfig& cfg,
+                        const DataGen& gen,
+                        chunk::StoreMode mode = chunk::StoreMode::kPayload,
+                        simmpi::RuntimeOptions opts = {}) {
+  DumpRun run;
+  run.stats.resize(static_cast<std::size_t>(nranks));
+  run.datasets.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) run.stores.emplace_back(mode);
+
+  simmpi::Runtime rt(nranks, opts);
+  rt.run([&](simmpi::Comm& comm) {
+    const int r = comm.rank();
+    run.datasets[static_cast<std::size_t>(r)] = gen(r);
+    chunk::Dataset ds;
+    ds.add_segment(run.datasets[static_cast<std::size_t>(r)]);
+    core::Dumper dumper(comm, run.stores[static_cast<std::size_t>(r)], cfg);
+    run.stats[static_cast<std::size_t>(r)] = dumper.dump_output(ds, k);
+  });
+  return run;
+}
+
+inline std::vector<chunk::ChunkStore*> store_ptrs(DumpRun& run) {
+  std::vector<chunk::ChunkStore*> ptrs;
+  ptrs.reserve(run.stores.size());
+  for (auto& s : run.stores) ptrs.push_back(&s);
+  return ptrs;
+}
+
+// Counts on how many distinct (alive) stores each fingerprint that appears
+// in any manifest is present; returns the minimum over fingerprints.
+inline std::size_t min_replica_count(DumpRun& run) {
+  std::vector<hash::Fingerprint> fps;
+  for (int r = 0; r < static_cast<int>(run.stores.size()); ++r) {
+    const auto* m = run.stores[static_cast<std::size_t>(r)].manifest_for(r);
+    if (m == nullptr) continue;
+    for (const auto& e : m->entries) fps.push_back(e.fp);
+  }
+  std::sort(fps.begin(), fps.end());
+  fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+
+  std::size_t min_count = static_cast<std::size_t>(-1);
+  for (const auto& fp : fps) {
+    std::size_t count = 0;
+    for (auto& s : run.stores) {
+      if (!s.failed() && s.contains(fp)) ++count;
+    }
+    min_count = std::min(min_count, count);
+  }
+  return fps.empty() ? 0 : min_count;
+}
+
+// Deterministic per-rank dataset with a controllable shared fraction:
+// pages with (page % 4 != 0) are identical across ranks.
+inline std::vector<std::uint8_t> mixed_pages(int rank, std::size_t pages,
+                                             std::size_t page_bytes) {
+  std::vector<std::uint8_t> data(pages * page_bytes);
+  for (std::size_t p = 0; p < pages; ++p) {
+    const bool shared = (p % 4) != 0;
+    for (std::size_t i = 0; i < page_bytes; ++i) {
+      data[p * page_bytes + i] = static_cast<std::uint8_t>(
+          shared ? (p * 131 + i * 7) : (p * 131 + i * 7 + 10007 * (rank + 1)));
+    }
+  }
+  return data;
+}
+
+}  // namespace collrep::test
