@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_cdc"
+  "../bench/ablate_cdc.pdb"
+  "CMakeFiles/ablate_cdc.dir/ablate_cdc.cpp.o"
+  "CMakeFiles/ablate_cdc.dir/ablate_cdc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_chunk_size"
+  "../bench/ablate_chunk_size.pdb"
+  "CMakeFiles/ablate_chunk_size.dir/ablate_chunk_size.cpp.o"
+  "CMakeFiles/ablate_chunk_size.dir/ablate_chunk_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_compression"
+  "../bench/ablate_compression.pdb"
+  "CMakeFiles/ablate_compression.dir/ablate_compression.cpp.o"
+  "CMakeFiles/ablate_compression.dir/ablate_compression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

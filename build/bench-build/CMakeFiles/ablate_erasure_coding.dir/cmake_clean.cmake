@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_erasure_coding"
+  "../bench/ablate_erasure_coding.pdb"
+  "CMakeFiles/ablate_erasure_coding.dir/ablate_erasure_coding.cpp.o"
+  "CMakeFiles/ablate_erasure_coding.dir/ablate_erasure_coding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_erasure_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_hash_functions"
+  "../bench/ablate_hash_functions.pdb"
+  "CMakeFiles/ablate_hash_functions.dir/ablate_hash_functions.cpp.o"
+  "CMakeFiles/ablate_hash_functions.dir/ablate_hash_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hash_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_threshold_f"
+  "../bench/ablate_threshold_f.pdb"
+  "CMakeFiles/ablate_threshold_f.dir/ablate_threshold_f.cpp.o"
+  "CMakeFiles/ablate_threshold_f.dir/ablate_threshold_f.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_threshold_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_topology"
+  "../bench/ablate_topology.pdb"
+  "CMakeFiles/ablate_topology.dir/ablate_topology.cpp.o"
+  "CMakeFiles/ablate_topology.dir/ablate_topology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_partner_selection"
+  "../bench/fig2_partner_selection.pdb"
+  "CMakeFiles/fig2_partner_selection.dir/fig2_partner_selection.cpp.o"
+  "CMakeFiles/fig2_partner_selection.dir/fig2_partner_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_partner_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_unique_content"
+  "../bench/fig3a_unique_content.pdb"
+  "CMakeFiles/fig3a_unique_content.dir/fig3a_unique_content.cpp.o"
+  "CMakeFiles/fig3a_unique_content.dir/fig3a_unique_content.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_unique_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

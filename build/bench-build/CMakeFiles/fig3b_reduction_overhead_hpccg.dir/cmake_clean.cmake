@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_reduction_overhead_hpccg"
+  "../bench/fig3b_reduction_overhead_hpccg.pdb"
+  "CMakeFiles/fig3b_reduction_overhead_hpccg.dir/fig3b_reduction_overhead_hpccg.cpp.o"
+  "CMakeFiles/fig3b_reduction_overhead_hpccg.dir/fig3b_reduction_overhead_hpccg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_reduction_overhead_hpccg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

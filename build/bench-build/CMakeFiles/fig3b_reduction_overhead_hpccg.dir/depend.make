@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_reduction_overhead_hpccg.
+# This may be replaced when dependencies are built.

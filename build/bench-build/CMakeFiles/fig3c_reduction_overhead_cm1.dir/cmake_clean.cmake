@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_reduction_overhead_cm1"
+  "../bench/fig3c_reduction_overhead_cm1.pdb"
+  "CMakeFiles/fig3c_reduction_overhead_cm1.dir/fig3c_reduction_overhead_cm1.cpp.o"
+  "CMakeFiles/fig3c_reduction_overhead_cm1.dir/fig3c_reduction_overhead_cm1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_reduction_overhead_cm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

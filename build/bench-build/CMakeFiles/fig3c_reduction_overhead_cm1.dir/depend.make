@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3c_reduction_overhead_cm1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_hpccg_exec_increase"
+  "../bench/fig4a_hpccg_exec_increase.pdb"
+  "CMakeFiles/fig4a_hpccg_exec_increase.dir/fig4a_hpccg_exec_increase.cpp.o"
+  "CMakeFiles/fig4a_hpccg_exec_increase.dir/fig4a_hpccg_exec_increase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_hpccg_exec_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_hpccg_replicated_data"
+  "../bench/fig4b_hpccg_replicated_data.pdb"
+  "CMakeFiles/fig4b_hpccg_replicated_data.dir/fig4b_hpccg_replicated_data.cpp.o"
+  "CMakeFiles/fig4b_hpccg_replicated_data.dir/fig4b_hpccg_replicated_data.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_hpccg_replicated_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4b_hpccg_replicated_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4c_hpccg_shuffle"
+  "../bench/fig4c_hpccg_shuffle.pdb"
+  "CMakeFiles/fig4c_hpccg_shuffle.dir/fig4c_hpccg_shuffle.cpp.o"
+  "CMakeFiles/fig4c_hpccg_shuffle.dir/fig4c_hpccg_shuffle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_hpccg_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_cm1_exec_increase"
+  "../bench/fig5a_cm1_exec_increase.pdb"
+  "CMakeFiles/fig5a_cm1_exec_increase.dir/fig5a_cm1_exec_increase.cpp.o"
+  "CMakeFiles/fig5a_cm1_exec_increase.dir/fig5a_cm1_exec_increase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_cm1_exec_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

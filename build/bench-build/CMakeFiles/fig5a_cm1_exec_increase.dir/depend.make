@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5a_cm1_exec_increase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_cm1_replicated_data"
+  "../bench/fig5b_cm1_replicated_data.pdb"
+  "CMakeFiles/fig5b_cm1_replicated_data.dir/fig5b_cm1_replicated_data.cpp.o"
+  "CMakeFiles/fig5b_cm1_replicated_data.dir/fig5b_cm1_replicated_data.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_cm1_replicated_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_cm1_replicated_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5c_cm1_shuffle"
+  "../bench/fig5c_cm1_shuffle.pdb"
+  "CMakeFiles/fig5c_cm1_shuffle.dir/fig5c_cm1_shuffle.cpp.o"
+  "CMakeFiles/fig5c_cm1_shuffle.dir/fig5c_cm1_shuffle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_cm1_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5c_cm1_shuffle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_pfs_dump"
+  "../bench/motivation_pfs_dump.pdb"
+  "CMakeFiles/motivation_pfs_dump.dir/motivation_pfs_dump.cpp.o"
+  "CMakeFiles/motivation_pfs_dump.dir/motivation_pfs_dump.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_pfs_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for motivation_pfs_dump.
+# This may be replaced when dependencies are built.

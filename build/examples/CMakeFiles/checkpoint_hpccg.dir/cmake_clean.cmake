@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_hpccg.dir/checkpoint_hpccg.cpp.o"
+  "CMakeFiles/checkpoint_hpccg.dir/checkpoint_hpccg.cpp.o.d"
+  "checkpoint_hpccg"
+  "checkpoint_hpccg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_hpccg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

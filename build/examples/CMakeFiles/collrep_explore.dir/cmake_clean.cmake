@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_explore.dir/collrep_explore.cpp.o"
+  "CMakeFiles/collrep_explore.dir/collrep_explore.cpp.o.d"
+  "collrep_explore"
+  "collrep_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

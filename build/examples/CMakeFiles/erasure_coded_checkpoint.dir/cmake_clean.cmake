@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_coded_checkpoint.dir/erasure_coded_checkpoint.cpp.o"
+  "CMakeFiles/erasure_coded_checkpoint.dir/erasure_coded_checkpoint.cpp.o.d"
+  "erasure_coded_checkpoint"
+  "erasure_coded_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_coded_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

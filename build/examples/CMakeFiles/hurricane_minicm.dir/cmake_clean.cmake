@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurricane_minicm.dir/hurricane_minicm.cpp.o"
+  "CMakeFiles/hurricane_minicm.dir/hurricane_minicm.cpp.o.d"
+  "hurricane_minicm"
+  "hurricane_minicm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurricane_minicm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

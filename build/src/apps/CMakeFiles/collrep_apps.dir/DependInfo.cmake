@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/hpccg.cpp" "src/apps/CMakeFiles/collrep_apps.dir/hpccg.cpp.o" "gcc" "src/apps/CMakeFiles/collrep_apps.dir/hpccg.cpp.o.d"
+  "/root/repo/src/apps/minicm.cpp" "src/apps/CMakeFiles/collrep_apps.dir/minicm.cpp.o" "gcc" "src/apps/CMakeFiles/collrep_apps.dir/minicm.cpp.o.d"
+  "/root/repo/src/apps/synth.cpp" "src/apps/CMakeFiles/collrep_apps.dir/synth.cpp.o" "gcc" "src/apps/CMakeFiles/collrep_apps.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftrt/CMakeFiles/collrep_ftrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/collrep_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/collrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/collrep_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/collrep_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_apps.dir/hpccg.cpp.o"
+  "CMakeFiles/collrep_apps.dir/hpccg.cpp.o.d"
+  "CMakeFiles/collrep_apps.dir/minicm.cpp.o"
+  "CMakeFiles/collrep_apps.dir/minicm.cpp.o.d"
+  "CMakeFiles/collrep_apps.dir/synth.cpp.o"
+  "CMakeFiles/collrep_apps.dir/synth.cpp.o.d"
+  "libcollrep_apps.a"
+  "libcollrep_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunk/cdc.cpp" "src/chunk/CMakeFiles/collrep_chunk.dir/cdc.cpp.o" "gcc" "src/chunk/CMakeFiles/collrep_chunk.dir/cdc.cpp.o.d"
+  "/root/repo/src/chunk/compress.cpp" "src/chunk/CMakeFiles/collrep_chunk.dir/compress.cpp.o" "gcc" "src/chunk/CMakeFiles/collrep_chunk.dir/compress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/collrep_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/collrep_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

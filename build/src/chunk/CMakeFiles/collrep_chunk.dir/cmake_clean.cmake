@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_chunk.dir/cdc.cpp.o"
+  "CMakeFiles/collrep_chunk.dir/cdc.cpp.o.d"
+  "CMakeFiles/collrep_chunk.dir/compress.cpp.o"
+  "CMakeFiles/collrep_chunk.dir/compress.cpp.o.d"
+  "libcollrep_chunk.a"
+  "libcollrep_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

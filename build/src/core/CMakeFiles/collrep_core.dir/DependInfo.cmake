@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dump.cpp" "src/core/CMakeFiles/collrep_core.dir/dump.cpp.o" "gcc" "src/core/CMakeFiles/collrep_core.dir/dump.cpp.o.d"
+  "/root/repo/src/core/fingerprint_set.cpp" "src/core/CMakeFiles/collrep_core.dir/fingerprint_set.cpp.o" "gcc" "src/core/CMakeFiles/collrep_core.dir/fingerprint_set.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/collrep_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/collrep_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/replica_plan.cpp" "src/core/CMakeFiles/collrep_core.dir/replica_plan.cpp.o" "gcc" "src/core/CMakeFiles/collrep_core.dir/replica_plan.cpp.o.d"
+  "/root/repo/src/core/restore.cpp" "src/core/CMakeFiles/collrep_core.dir/restore.cpp.o" "gcc" "src/core/CMakeFiles/collrep_core.dir/restore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/collrep_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/collrep_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/collrep_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

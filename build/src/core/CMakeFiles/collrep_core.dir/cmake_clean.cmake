@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_core.dir/dump.cpp.o"
+  "CMakeFiles/collrep_core.dir/dump.cpp.o.d"
+  "CMakeFiles/collrep_core.dir/fingerprint_set.cpp.o"
+  "CMakeFiles/collrep_core.dir/fingerprint_set.cpp.o.d"
+  "CMakeFiles/collrep_core.dir/planner.cpp.o"
+  "CMakeFiles/collrep_core.dir/planner.cpp.o.d"
+  "CMakeFiles/collrep_core.dir/replica_plan.cpp.o"
+  "CMakeFiles/collrep_core.dir/replica_plan.cpp.o.d"
+  "CMakeFiles/collrep_core.dir/restore.cpp.o"
+  "CMakeFiles/collrep_core.dir/restore.cpp.o.d"
+  "libcollrep_core.a"
+  "libcollrep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

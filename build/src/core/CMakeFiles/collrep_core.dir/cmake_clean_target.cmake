@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcollrep_core.a"
+)

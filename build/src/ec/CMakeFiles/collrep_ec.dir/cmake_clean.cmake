@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_ec.dir/gf256.cpp.o"
+  "CMakeFiles/collrep_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/collrep_ec.dir/group_parity.cpp.o"
+  "CMakeFiles/collrep_ec.dir/group_parity.cpp.o.d"
+  "CMakeFiles/collrep_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/collrep_ec.dir/reed_solomon.cpp.o.d"
+  "libcollrep_ec.a"
+  "libcollrep_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

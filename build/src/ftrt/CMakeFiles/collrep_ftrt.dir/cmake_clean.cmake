@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_ftrt.dir/multilevel.cpp.o"
+  "CMakeFiles/collrep_ftrt.dir/multilevel.cpp.o.d"
+  "CMakeFiles/collrep_ftrt.dir/tracked_arena.cpp.o"
+  "CMakeFiles/collrep_ftrt.dir/tracked_arena.cpp.o.d"
+  "libcollrep_ftrt.a"
+  "libcollrep_ftrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_ftrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/crc32c.cpp" "src/hash/CMakeFiles/collrep_hash.dir/crc32c.cpp.o" "gcc" "src/hash/CMakeFiles/collrep_hash.dir/crc32c.cpp.o.d"
+  "/root/repo/src/hash/hasher.cpp" "src/hash/CMakeFiles/collrep_hash.dir/hasher.cpp.o" "gcc" "src/hash/CMakeFiles/collrep_hash.dir/hasher.cpp.o.d"
+  "/root/repo/src/hash/sha1.cpp" "src/hash/CMakeFiles/collrep_hash.dir/sha1.cpp.o" "gcc" "src/hash/CMakeFiles/collrep_hash.dir/sha1.cpp.o.d"
+  "/root/repo/src/hash/xx64.cpp" "src/hash/CMakeFiles/collrep_hash.dir/xx64.cpp.o" "gcc" "src/hash/CMakeFiles/collrep_hash.dir/xx64.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

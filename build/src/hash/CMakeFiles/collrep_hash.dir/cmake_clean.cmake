@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_hash.dir/crc32c.cpp.o"
+  "CMakeFiles/collrep_hash.dir/crc32c.cpp.o.d"
+  "CMakeFiles/collrep_hash.dir/hasher.cpp.o"
+  "CMakeFiles/collrep_hash.dir/hasher.cpp.o.d"
+  "CMakeFiles/collrep_hash.dir/sha1.cpp.o"
+  "CMakeFiles/collrep_hash.dir/sha1.cpp.o.d"
+  "CMakeFiles/collrep_hash.dir/xx64.cpp.o"
+  "CMakeFiles/collrep_hash.dir/xx64.cpp.o.d"
+  "libcollrep_hash.a"
+  "libcollrep_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collrep_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/collrep_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/collrep_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/collrep_simmpi.dir/runtime.cpp.o.d"
+  "libcollrep_simmpi.a"
+  "libcollrep_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collrep_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

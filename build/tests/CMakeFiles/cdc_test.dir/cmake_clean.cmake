@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdc_test.dir/cdc_test.cpp.o"
+  "CMakeFiles/cdc_test.dir/cdc_test.cpp.o.d"
+  "cdc_test"
+  "cdc_test.pdb"
+  "cdc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

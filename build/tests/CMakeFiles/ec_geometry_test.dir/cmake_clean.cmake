@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_geometry_test.dir/ec_geometry_test.cpp.o"
+  "CMakeFiles/ec_geometry_test.dir/ec_geometry_test.cpp.o.d"
+  "ec_geometry_test"
+  "ec_geometry_test.pdb"
+  "ec_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

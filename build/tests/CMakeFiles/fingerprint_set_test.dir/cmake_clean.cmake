@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_set_test.dir/fingerprint_set_test.cpp.o"
+  "CMakeFiles/fingerprint_set_test.dir/fingerprint_set_test.cpp.o.d"
+  "fingerprint_set_test"
+  "fingerprint_set_test.pdb"
+  "fingerprint_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftrt_test.dir/ftrt_test.cpp.o"
+  "CMakeFiles/ftrt_test.dir/ftrt_test.cpp.o.d"
+  "ftrt_test"
+  "ftrt_test.pdb"
+  "ftrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

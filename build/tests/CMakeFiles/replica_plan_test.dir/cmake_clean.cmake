@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_plan_test.dir/replica_plan_test.cpp.o"
+  "CMakeFiles/replica_plan_test.dir/replica_plan_test.cpp.o.d"
+  "replica_plan_test"
+  "replica_plan_test.pdb"
+  "replica_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/window_test[1]_include.cmake")
+include("/root/repo/build/tests/chunk_test[1]_include.cmake")
+include("/root/repo/build/tests/fingerprint_set_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/dump_test[1]_include.cmake")
+include("/root/repo/build/tests/ftrt_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/ec_test[1]_include.cmake")
+include("/root/repo/build/tests/cdc_test[1]_include.cmake")
+include("/root/repo/build/tests/restore_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/simtime_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/multilevel_test[1]_include.cmake")
+include("/root/repo/build/tests/ec_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
