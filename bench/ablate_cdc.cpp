@@ -65,7 +65,8 @@ Result run(int nranks, bool cdc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   bench::print_header(
       "Fixed-size vs content-defined chunking on offset-shifted content",
       "paper SII related work (static vs content-defined dedup)");

@@ -6,7 +6,8 @@
 
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   using namespace collrep;
   bench::print_header(
       "Ablation: chunk size vs dedup quality and dedup-phase overhead",

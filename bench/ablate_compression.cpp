@@ -9,7 +9,8 @@
 #include "bench_util.hpp"
 #include "chunk/compress.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   using namespace collrep;
   bench::print_header(
       "Compression vs deduplication as pre-replication redundancy "

@@ -12,7 +12,8 @@
 #include "bench_util.hpp"
 #include "ec/group_parity.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   using namespace collrep;
   bench::print_header(
       "Erasure coding vs replication at equal failure tolerance (2 losses)",

@@ -7,7 +7,8 @@
 
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   using namespace collrep;
   bench::print_header(
       "Ablation: threshold F vs dedup quality and reduction overhead",

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,8 +21,75 @@
 #include "apps/minicm.hpp"
 #include "core/collrep.hpp"
 #include "ftrt/checkpoint.hpp"
+#include "obs/telemetry.hpp"
 
 namespace collrep::bench {
+
+// -- telemetry ----------------------------------------------------------------
+//
+// Every fig/ablation binary accepts
+//   --trace=<file>     Chrome trace-event JSON (load in Perfetto)
+//   --metrics=<file>   MetricsRegistry JSON (counters/gauges/histograms)
+// Telemetry stays off (null pointer, zero recording cost) unless at least
+// one flag is present.  Construct one TelemetryScope at the top of main();
+// the files are written when it leaves scope.
+
+inline std::unique_ptr<obs::Telemetry>& telemetry_slot() {
+  static std::unique_ptr<obs::Telemetry> slot;
+  return slot;
+}
+
+// nullptr when telemetry is disabled; handed to RuntimeOptions::telemetry.
+inline obs::Telemetry* telemetry() { return telemetry_slot().get(); }
+
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--trace=", 8) == 0) {
+        trace_path_ = arg + 8;
+      } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+        metrics_path_ = arg + 10;
+      }
+    }
+    if (!trace_path_.empty() || !metrics_path_.empty()) {
+      telemetry_slot() = std::make_unique<obs::Telemetry>();
+    }
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  ~TelemetryScope() {
+    obs::Telemetry* t = telemetry();
+    if (t != nullptr) {
+      if (!metrics_path_.empty()) {
+        t->publish_rollup();
+        write_file(metrics_path_, t->metrics().to_json());
+      }
+      if (!trace_path_.empty()) write_file(trace_path_, t->trace_json());
+    }
+    telemetry_slot().reset();
+  }
+
+ private:
+  static void write_file(const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "telemetry: cannot open %s for writing\n",
+                   path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "telemetry: wrote %s (%zu bytes)\n", path.c_str(),
+                 body.size());
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 enum class App { kHpccg, kCm1 };
 
@@ -85,6 +154,7 @@ inline BenchResult run_app_bench(const BenchSpec& spec) {
   }
 
   simmpi::RuntimeOptions opts;  // Shamrock-like cluster model
+  opts.telemetry = telemetry();
   simmpi::Runtime rt(spec.nranks, opts);
   rt.run([&](simmpi::Comm& comm) {
     ftrt::TrackedArena arena(spec.chunk_bytes);

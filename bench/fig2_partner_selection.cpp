@@ -8,7 +8,8 @@
 #include "bench_util.hpp"
 #include "core/planner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   using namespace collrep;
   bench::print_header("Naive vs load-aware partner selection (toy example)",
                       "Figure 2");

@@ -6,7 +6,8 @@
 
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   using namespace collrep;
   using bench::App;
   bench::print_header("Total size of unique content (lower is better)",

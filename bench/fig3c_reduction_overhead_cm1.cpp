@@ -3,7 +3,8 @@
 // {2, 4, 6}), with local-dedup's scale-independent hashing as baseline.
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   collrep::bench::print_reduction_overhead(collrep::bench::App::kCm1,
                                            "Figure 3(c)");
   return 0;

@@ -2,7 +2,8 @@
 // factors 1..6 at 408 processes (paper baseline: 279 s).
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   collrep::bench::print_exec_increase(collrep::bench::App::kHpccg,
                                       "Figure 4(a)", 279.0);
   return 0;

@@ -2,7 +2,8 @@
 // data per process for an increasing replication factor (408 processes).
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   collrep::bench::print_replicated_data(collrep::bench::App::kHpccg,
                                         "Figure 4(b)");
   return 0;

@@ -2,7 +2,8 @@
 // size for HPCCG (408 processes; paper reports ~8% reduction).
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   collrep::bench::print_shuffle_impact(collrep::bench::App::kHpccg,
                                        "Figure 4(c)");
   return 0;

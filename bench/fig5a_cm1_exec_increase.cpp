@@ -2,7 +2,8 @@
 // factors 1..6 at 408 processes (paper baseline: 382 s).
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   collrep::bench::print_exec_increase(collrep::bench::App::kCm1,
                                       "Figure 5(a)", 382.0);
   return 0;

@@ -2,7 +2,8 @@
 // size for CM1 (408 processes; paper reports a reduction approaching 30%).
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   collrep::bench::print_shuffle_impact(collrep::bench::App::kCm1,
                                        "Figure 5(c)");
   return 0;

@@ -47,7 +47,9 @@ inline MatrixOut run_matrix(App app, int nranks, int app_iterations,
     }
   }
 
-  simmpi::Runtime rt(nranks);
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = telemetry();
+  simmpi::Runtime rt(nranks, opts);
   rt.run([&](simmpi::Comm& comm) {
     ftrt::TrackedArena arena(4096);
     std::optional<apps::HpccgSolver> hpccg;

@@ -10,7 +10,8 @@
 #include "bench_util.hpp"
 #include "ftrt/multilevel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   using namespace collrep;
   bench::print_header(
       "Collective dump time: decoupled PFS vs partner replication",

@@ -57,7 +57,8 @@ void run_table(App app, const std::vector<PaperRow>& paper) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const collrep::bench::TelemetryScope telemetry(argc, argv);
   bench::print_header(
       "Completion time using a replication factor of 3 (baseline = no "
       "checkpointing)",

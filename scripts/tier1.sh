@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite — what CI and
+# the PR driver run.  Optionally follow with a sanitizer build of the
+# runtime-heavy tests:
+#
+#   scripts/tier1.sh                       # plain tier-1
+#   COLLREP_SANITIZE=address scripts/tier1.sh
+#   COLLREP_SANITIZE=undefined scripts/tier1.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ -n "${COLLREP_SANITIZE:-}" ]]; then
+  san_dir="build-${COLLREP_SANITIZE}"
+  echo "== sanitizer pass (${COLLREP_SANITIZE}) =="
+  cmake -B "$san_dir" -S . -DCOLLREP_SANITIZE="${COLLREP_SANITIZE}"
+  # The threaded-runtime tests are where a sanitizer earns its keep.
+  cmake --build "$san_dir" -j --target \
+    simmpi_test obs_test collectives_test window_test stress_test
+  for t in simmpi_test obs_test collectives_test window_test stress_test; do
+    "$san_dir/tests/$t"
+  done
+fi
+
+echo "tier1: OK"

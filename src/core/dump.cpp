@@ -17,23 +17,38 @@ constexpr std::size_t kRecordHeaderBytes =
 constexpr int kManifestTagBase = 6 << 20;
 
 struct PhaseClock {
-  explicit PhaseClock(simmpi::Comm& comm) : comm(comm) {
+  PhaseClock(simmpi::Comm& comm, const char* first_phase) : comm(comm) {
     comm.barrier();
     mark = comm.clock().now();
     start = mark;
+    open(first_phase);
   }
   // Ends the current phase at a barrier so the recorded duration is the
-  // bulk-synchronous (max-over-ranks) phase time.
-  double lap() {
+  // bulk-synchronous (max-over-ranks) phase time; `next_phase` (static
+  // lifetime, nullptr at the end of the pipeline) names the phase the
+  // trace enters next.
+  double lap(const char* next_phase = nullptr) {
     comm.barrier();
     const double now = comm.clock().now();
+    if (auto* t = comm.obs()) {
+      t->event(obs::EventKind::kPhaseEnd, now, current);
+    }
     const double d = now - mark;
     mark = now;
+    open(next_phase);
     return d;
+  }
+  void open(const char* phase) {
+    current = phase;
+    if (phase == nullptr) return;
+    if (auto* t = comm.obs()) {
+      t->event(obs::EventKind::kPhaseBegin, comm.clock().now(), phase);
+    }
   }
   simmpi::Comm& comm;
   double start;
   double mark;
+  const char* current = nullptr;
 };
 
 }  // namespace
@@ -87,7 +102,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   stats.k_requested = k;
   stats.k_effective = keff;
 
-  PhaseClock phase(comm_);
+  PhaseClock phase(comm_, "hash");
 
   // ---- Phase 1: chunking, fingerprinting, local dedup ----------------------
   const bool cdc = config_.chunking == ChunkingMode::kContentDefined;
@@ -116,7 +131,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
                  static_cast<double>(chunker.count()) *
                      cluster.chunk_overhead_s);
   }
-  stats.phases.hash_s = phase.lap();
+  stats.phases.hash_s = phase.lap("reduction");
 
   // ---- Phase 2: collective reduction of fingerprint frequencies ------------
   BoundedFpSet gview;
@@ -143,7 +158,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     simmpi::bcast(comm_, gview, 0);
     stats.gview_entries = static_cast<std::uint32_t>(gview.size());
   }
-  stats.phases.reduction_s = phase.lap();
+  stats.phases.reduction_s = phase.lap("planning");
 
   // ---- Phase 3: load vectors, allgather, shuffle, offsets -------------------
   ReplicaPlan plan;
@@ -202,7 +217,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   stats.discarded_chunks = plan.discarded_chunks;
   stats.discarded_bytes = plan.discarded_bytes;
   stats.skip_fallbacks = plan.skip_fallbacks;
-  stats.phases.planning_s = phase.lap();
+  stats.phases.planning_s = phase.lap("exchange");
 
   // ---- Phase 4: single-sided chunk exchange --------------------------------
   const std::size_t slot_bytes =
@@ -281,6 +296,10 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   }
   comm_.charge(static_cast<double>(stats.recv_bytes) /
                comm_.cluster().mem_bandwidth_bps);
+  if (auto* t = comm_.obs()) {
+    t->event(obs::EventKind::kStoreCommit, comm_.clock().now(),
+             "commit_received", stats.recv_bytes, stats.recv_chunks);
+  }
   win.free();
 
   // Manifest replication (small, point-to-point; same partner ring).
@@ -310,9 +329,10 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
           src, kManifestTagBase + p));
     }
   }
-  stats.phases.exchange_s = phase.lap();
+  stats.phases.exchange_s = phase.lap("storage");
 
   // ---- Phase 5: commit designated + kept chunks to the local device --------
+  const std::uint64_t stored_before_local = stats.stored_bytes;
   for (const ChunkAssignment& a : plan.assignments) {
     if (!a.store_local) continue;
     const std::size_t chunk_index =
@@ -332,6 +352,11 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     stats.stored_bytes += payload.size();
   }
 
+  if (auto* t = comm_.obs()) {
+    t->event(obs::EventKind::kStoreCommit, comm_.clock().now(),
+             "commit_local", stats.stored_bytes - stored_before_local);
+  }
+
   // The HDD is shared by all ranks of a node: the phase lasts as long as
   // the node with the most bytes to write.
   const std::uint64_t my_store_total = stats.stored_bytes +
@@ -349,6 +374,30 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   stats.phases.storage_s = phase.lap();
 
   stats.total_time_s = comm_.clock().now() - phase.start;
+
+  // Publish into the shared registry (names are aggregates over all ranks
+  // and dumps: each rank adds its own contribution per dump).
+  if (auto* t = comm_.obs()) {
+    auto& m = *t->metrics;
+    if (rank == 0) m.add("dump.count");
+    m.add("dump.dataset_bytes", stats.dataset_bytes);
+    m.add("dump.chunks", stats.chunk_count);
+    m.add("dump.local_unique_bytes", stats.local_unique_bytes);
+    m.add("dump.owned_unique_bytes", stats.owned_unique_bytes);
+    m.add("dump.discarded_bytes", stats.discarded_bytes);
+    m.add("dump.sent_chunks", stats.sent_chunks);
+    m.add("dump.sent_bytes", stats.sent_bytes);
+    m.add("dump.recv_chunks", stats.recv_chunks);
+    m.add("dump.recv_bytes", stats.recv_bytes);
+    m.add("dump.stored_bytes", stats.stored_bytes);
+    m.add("dump.manifest_bytes", stats.manifest_bytes);
+    m.observe("dump.rank_sent_bytes", static_cast<double>(stats.sent_bytes));
+    m.observe("dump.rank_recv_bytes", static_cast<double>(stats.recv_bytes));
+    if (rank == 0) {
+      m.set("dump.last.total_time_s", stats.total_time_s);
+      m.observe("dump.total_time_s", stats.total_time_s);
+    }
+  }
   return stats;
 }
 
@@ -371,6 +420,25 @@ GlobalDumpStats Dumper::collect(simmpi::Comm& comm, const DumpStats& mine) {
   g.max_phases.exchange_s =
       simmpi::allreduce_max(comm, mine.phases.exchange_s);
   g.max_phases.storage_s = simmpi::allreduce_max(comm, mine.phases.storage_s);
+
+  // Machine-readable mirror of the roll-up this call just computed (the
+  // "dump.last.*" gauges track the most recent collect on any telemetry-
+  // attached run; rank 0 writes so each value lands exactly once).
+  if (auto* t = comm.obs(); t != nullptr && comm.rank() == 0) {
+    auto& m = *t->metrics;
+    m.set("dump.last.total_dataset_bytes",
+          static_cast<double>(g.total_dataset_bytes));
+    m.set("dump.last.total_unique_bytes",
+          static_cast<double>(g.total_unique_bytes));
+    m.set("dump.last.total_sent_bytes",
+          static_cast<double>(g.total_sent_bytes));
+    m.set("dump.last.total_stored_bytes",
+          static_cast<double>(g.total_stored_bytes));
+    m.set("dump.last.max_sent_bytes", static_cast<double>(g.max_sent_bytes));
+    m.set("dump.last.max_recv_bytes", static_cast<double>(g.max_recv_bytes));
+    m.set("dump.last.avg_sent_bytes", g.avg_sent_bytes);
+    m.set("dump.last.completion_time_s", g.completion_time_s);
+  }
   return g;
 }
 

@@ -114,6 +114,9 @@ EcDumpStats EcDumper::dump_output(const chunk::Dataset& buffer) {
 
   comm_.barrier();
   const double t0 = comm_.clock().now();
+  if (auto* t = comm_.obs()) {
+    t->event(obs::EventKind::kPhaseBegin, t0, "ec_dump");
+  }
 
   // ---- local dedup ----------------------------------------------------------
   const chunk::Chunker chunker(buffer, config_.chunk_bytes);
@@ -333,6 +336,20 @@ EcDumpStats EcDumper::dump_output(const chunk::Dataset& buffer) {
                cluster.hdd_write_bps);
   comm_.barrier();
   stats.total_time_s = comm_.clock().now() - t0;
+
+  if (auto* t = comm_.obs()) {
+    t->event(obs::EventKind::kPhaseEnd, comm_.clock().now(), "ec_dump");
+    auto& m = *t->metrics;
+    if (rank == 0) m.add("ec.count");
+    m.add("ec.dataset_bytes", stats.dataset_bytes);
+    m.add("ec.stream_chunks", stats.stream_chunks);
+    m.add("ec.excluded_chunks", stats.excluded_chunks);
+    m.add("ec.stored_bytes", stats.stored_bytes);
+    m.add("ec.parity_bytes", stats.parity_bytes);
+    m.add("ec.sent_bytes", stats.sent_bytes);
+    m.observe("ec.rank_parity_bytes", static_cast<double>(stats.parity_bytes));
+    if (rank == 0) m.set("ec.last.total_time_s", stats.total_time_s);
+  }
   return stats;
 }
 

@@ -42,6 +42,18 @@ PfsDumpStats pfs_dump(simmpi::Comm& comm, PfsStore& pfs,
               static_cast<double>(total) / pfs.model().aggregate_write_bps);
   comm.barrier();
   stats.total_time_s = comm.clock().now() - t0;
+
+  if (auto* t = comm.obs()) {
+    t->event(obs::EventKind::kStoreCommit, comm.clock().now(), "pfs_commit",
+             stats.written_bytes);
+    auto& m = *t->metrics;
+    m.add("pfs.written_bytes", stats.written_bytes);
+    if (comm.rank() == 0) {
+      m.add("pfs.dumps");
+      m.set("pfs.last.total_time_s", stats.total_time_s);
+      m.set("pfs.last.total_written_bytes", static_cast<double>(total));
+    }
+  }
   return stats;
 }
 
@@ -111,6 +123,24 @@ MultiLevelStats MultiLevelCheckpoint::maybe_checkpoint(int iteration) {
     stats.level = CheckpointLevel::kL3;
   }
   stats.time_s = comm_.clock().now() - t0;
+
+  if (auto* t = comm_.obs(); t != nullptr && comm_.rank() == 0) {
+    auto& m = *t->metrics;
+    switch (stats.level) {
+      case CheckpointLevel::kL1:
+        m.add("mlc.l1_checkpoints");
+        break;
+      case CheckpointLevel::kL2:
+        m.add("mlc.l2_checkpoints");
+        break;
+      case CheckpointLevel::kL3:
+        m.add("mlc.l3_checkpoints");
+        break;
+      case CheckpointLevel::kNone:
+        break;
+    }
+    m.observe("mlc.checkpoint_time_s", stats.time_s);
+  }
   return stats;
 }
 

@@ -1,0 +1,109 @@
+// Per-rank communication-substrate counters (the altitude below DumpStats).
+//
+// CommStats counts what simmpi::Comm/Window actually moved: point-to-point
+// messages and bytes (by tag and by intra-/inter-node locality), collective
+// invocations with their logical round counts, barriers, and one-sided
+// window traffic.  Every counter is maintained by exactly one rank thread
+// (see obs::Telemetry), so no synchronization is needed here; roll-ups
+// merge the per-rank structs after the run.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace collrep::obs {
+
+// Collective shapes implemented in simmpi/collectives.hpp.
+enum class CollectiveKind : std::uint8_t {
+  kBcast = 0,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAllgather,
+};
+inline constexpr std::size_t kCollectiveKindCount = 6;
+
+[[nodiscard]] constexpr const char* to_string(CollectiveKind k) noexcept {
+  switch (k) {
+    case CollectiveKind::kBcast:
+      return "bcast";
+    case CollectiveKind::kReduce:
+      return "reduce";
+    case CollectiveKind::kAllreduce:
+      return "allreduce";
+    case CollectiveKind::kGather:
+      return "gather";
+    case CollectiveKind::kScatter:
+      return "scatter";
+    case CollectiveKind::kAllgather:
+      return "allgather";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr std::size_t index_of(CollectiveKind k) noexcept {
+  return static_cast<std::size_t>(k);
+}
+
+struct TagTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct CommStats {
+  // Point-to-point (Comm::send_bytes / recv_bytes).
+  std::uint64_t sent_messages = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t recv_messages = 0;
+  std::uint64_t recv_bytes = 0;
+  std::uint64_t intra_node_sent_bytes = 0;  // sender and receiver share a node
+  std::uint64_t inter_node_sent_bytes = 0;
+  std::map<int, TagTraffic> sent_by_tag;  // ordered for deterministic export
+
+  // Synchronization.
+  std::uint64_t barriers = 0;
+
+  // Collectives (counted at the collectives.hpp layer; allreduce also
+  // counts its nested reduce + bcast under their own kinds).
+  std::array<std::uint64_t, kCollectiveKindCount> collective_calls{};
+  std::array<std::uint64_t, kCollectiveKindCount> collective_rounds{};
+
+  // One-sided windows.
+  std::uint64_t windows_created = 0;
+  std::uint64_t window_epochs = 0;  // completed fences
+  std::uint64_t puts = 0;
+  std::uint64_t put_bytes = 0;  // modeled wire bytes (header + payload)
+  std::uint64_t intra_node_put_bytes = 0;
+  std::uint64_t inter_node_put_bytes = 0;
+
+  CommStats& merge_from(const CommStats& o) {
+    sent_messages += o.sent_messages;
+    sent_bytes += o.sent_bytes;
+    recv_messages += o.recv_messages;
+    recv_bytes += o.recv_bytes;
+    intra_node_sent_bytes += o.intra_node_sent_bytes;
+    inter_node_sent_bytes += o.inter_node_sent_bytes;
+    for (const auto& [tag, t] : o.sent_by_tag) {
+      auto& mine = sent_by_tag[tag];
+      mine.messages += t.messages;
+      mine.bytes += t.bytes;
+    }
+    barriers += o.barriers;
+    for (std::size_t i = 0; i < kCollectiveKindCount; ++i) {
+      collective_calls[i] += o.collective_calls[i];
+      collective_rounds[i] += o.collective_rounds[i];
+    }
+    windows_created += o.windows_created;
+    window_epochs += o.window_epochs;
+    puts += o.puts;
+    put_bytes += o.put_bytes;
+    intra_node_put_bytes += o.intra_node_put_bytes;
+    inter_node_put_bytes += o.inter_node_put_bytes;
+    return *this;
+  }
+};
+
+}  // namespace collrep::obs

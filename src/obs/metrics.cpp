@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace collrep::obs {
+
+namespace {
+
+// Metric names are code-controlled, but escape anyway so to_json() always
+// emits valid JSON regardless of what a caller passes.
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out += v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  std::size_t idx = 0;
+  if (v >= 1.0) {
+    const int exp = std::ilogb(v);  // floor(log2 v) for finite v >= 1
+    idx = static_cast<std::size_t>(exp) + 1;
+    if (idx >= kBuckets) idx = kBuckets - 1;
+  }
+  ++buckets[idx];
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  std::scoped_lock lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  std::scoped_lock lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  std::scoped_lock lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::scoped_lock lk(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::scoped_lock lk(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) const {
+  std::scoped_lock lk(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::scoped_lock lk(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_u64(out, value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": ";
+    append_double(out, value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_double(out, h.sum);
+    out += ", \"min\": ";
+    append_double(out, h.min);
+    out += ", \"max\": ";
+    append_double(out, h.max);
+    out += ", \"buckets\": {";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      // Key = exclusive upper bound of the bucket (2^i), "0.5" style keys
+      // avoided by anchoring bucket 0 at 1.
+      out += '"';
+      append_double(out, i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i)));
+      out += "\": ";
+      append_u64(out, h.buckets[i]);
+    }
+    out += "}}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  std::scoped_lock lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace collrep::obs

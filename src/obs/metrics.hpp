@@ -1,0 +1,61 @@
+// Named counters / gauges / histograms with deterministic JSON export.
+//
+// One registry is shared by all rank threads of a run (and across runs of
+// the same Telemetry), so every mutation takes an internal lock; callers on
+// hot paths should prefer the lock-free per-rank CommStats and publish into
+// the registry once per dump.  Names are ordered maps, so to_json() output
+// is byte-stable for a given set of observations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace collrep::obs {
+
+// Power-of-two bucketed histogram: bucket i counts values v with
+// 2^(i-1) <= v < 2^i (bucket 0 takes v < 1).
+struct Histogram {
+  static constexpr std::size_t kBuckets = 64;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  void observe(double v) noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  // Monotone counter.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  // Last-write-wins gauge.
+  void set(std::string_view name, double value);
+  // Distribution sample.
+  void observe(std::string_view name, double value);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  // Returns a copy (the live histogram may keep moving); count == 0 when
+  // the name was never observed.
+  [[nodiscard]] Histogram histogram(std::string_view name) const;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys in
+  // lexicographic order.
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace collrep::obs

@@ -1,0 +1,116 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+
+namespace collrep::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Simulated seconds -> trace microseconds with fixed precision, so equal
+// clocks always serialize to equal strings (bit-reproducible traces).
+void append_ts(std::string& out, double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  out += buf;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config) : config_(config) {}
+
+void Telemetry::begin_run(int nranks) {
+  ++run_count_;
+  while (ranks_.size() < static_cast<std::size_t>(nranks)) {
+    ranks_.push_back(std::make_unique<RankTelemetry>(config_.trace_capacity));
+  }
+  for (auto& rt : ranks_) {
+    rt->metrics = &metrics_;
+    rt->run = run_count_;
+  }
+}
+
+void Telemetry::end_run() {}
+
+CommStats Telemetry::rollup() const {
+  CommStats total;
+  for (const auto& rt : ranks_) total.merge_from(rt->comm);
+  return total;
+}
+
+void Telemetry::publish_rollup() {
+  const CommStats c = rollup();
+  metrics_.set("comm.sent_messages", static_cast<double>(c.sent_messages));
+  metrics_.set("comm.sent_bytes", static_cast<double>(c.sent_bytes));
+  metrics_.set("comm.recv_messages", static_cast<double>(c.recv_messages));
+  metrics_.set("comm.recv_bytes", static_cast<double>(c.recv_bytes));
+  metrics_.set("comm.intra_node_sent_bytes",
+               static_cast<double>(c.intra_node_sent_bytes));
+  metrics_.set("comm.inter_node_sent_bytes",
+               static_cast<double>(c.inter_node_sent_bytes));
+  metrics_.set("comm.barriers", static_cast<double>(c.barriers));
+  metrics_.set("comm.windows_created",
+               static_cast<double>(c.windows_created));
+  metrics_.set("comm.window_epochs", static_cast<double>(c.window_epochs));
+  metrics_.set("comm.puts", static_cast<double>(c.puts));
+  metrics_.set("comm.put_bytes", static_cast<double>(c.put_bytes));
+  metrics_.set("comm.intra_node_put_bytes",
+               static_cast<double>(c.intra_node_put_bytes));
+  metrics_.set("comm.inter_node_put_bytes",
+               static_cast<double>(c.inter_node_put_bytes));
+  for (std::size_t i = 0; i < kCollectiveKindCount; ++i) {
+    const auto kind = static_cast<CollectiveKind>(i);
+    std::string base = "comm.collective.";
+    base += to_string(kind);
+    metrics_.set(base + ".calls",
+                 static_cast<double>(c.collective_calls[i]));
+    metrics_.set(base + ".rounds",
+                 static_cast<double>(c.collective_rounds[i]));
+  }
+}
+
+std::string Telemetry::trace_json() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    dropped += ranks_[r]->trace.dropped();
+    for (const TraceEvent& ev : ranks_[r]->trace.snapshot()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\": \"";
+      out += ev.name;  // static names, no escaping needed
+      out += "\", \"cat\": \"";
+      out += category_of(ev.kind);
+      out += "\", \"ph\": \"";
+      out += phase_of(ev.kind);
+      out += "\", \"ts\": ";
+      append_ts(out, ev.ts);
+      out += ", \"pid\": ";
+      append_u64(out, ev.run);
+      out += ", \"tid\": ";
+      append_u64(out, r);
+      const char* ph = phase_of(ev.kind);
+      if (ph[0] == 'i') out += ", \"s\": \"t\"";  // thread-scoped instant
+      if (ph[0] != 'E') {
+        out += ", \"args\": {\"a\": ";
+        append_u64(out, ev.a);
+        out += ", \"b\": ";
+        append_u64(out, ev.b);
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n], \"otherData\": {\"dropped_events\": \"";
+  append_u64(out, dropped);
+  out += "\"}}\n";
+  return out;
+}
+
+}  // namespace collrep::obs

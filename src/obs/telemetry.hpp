@@ -1,0 +1,94 @@
+// Telemetry: the unified observability attachment point for a simmpi run.
+//
+// A Telemetry instance is handed to the runtime through
+// simmpi::RuntimeOptions::telemetry (default nullptr == disabled; the only
+// cost of the disabled state is a null-pointer check at each
+// instrumentation site).  When attached, every rank thread gets its own
+// RankTelemetry — a lock-free CommStats counter block plus a bounded
+// TraceRecorder — and all ranks share one locked MetricsRegistry that the
+// dump pipelines publish into.
+//
+// One Telemetry may span several Runtime::run() invocations (the fig
+// benches re-run the pipeline per rank count): counters accumulate,
+// trace events are stamped with the run incarnation (exported as the
+// Chrome trace pid), and rollup() merges everything seen so far.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/comm_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace collrep::obs {
+
+// Per-rank slice of an attached Telemetry.  Written only by the owning
+// rank thread while a run is in flight.
+struct RankTelemetry {
+  explicit RankTelemetry(std::size_t trace_capacity)
+      : trace(trace_capacity) {}
+
+  CommStats comm;
+  TraceRecorder trace;
+  MetricsRegistry* metrics = nullptr;  // shared registry, internally locked
+  std::uint32_t run = 0;               // current Runtime::run() incarnation
+
+  void event(EventKind kind, double ts, const char* name, std::uint64_t a = 0,
+             std::uint64_t b = 0) {
+    trace.record(TraceEvent{kind, run, ts, name, a, b});
+  }
+};
+
+struct TelemetryConfig {
+  std::size_t trace_capacity = TraceRecorder::kDefaultCapacity;  // per rank
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Called by the runtime at the start/end of a Runtime::run().  begin_run
+  // grows the per-rank slots (never shrinks, so traces from earlier runs
+  // survive) and advances the run incarnation.
+  void begin_run(int nranks);
+  void end_run();
+
+  [[nodiscard]] RankTelemetry& rank(int r) { return *ranks_.at(r); }
+  [[nodiscard]] const RankTelemetry& rank(int r) const { return *ranks_.at(r); }
+  [[nodiscard]] int rank_count() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] std::uint32_t runs() const noexcept { return run_count_; }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  // Merge of every rank's CommStats across all runs so far.
+  [[nodiscard]] CommStats rollup() const;
+
+  // Mirror the comm roll-up into the metrics registry as "comm.*" gauges
+  // (idempotent; called before exporting metrics to a file).
+  void publish_rollup();
+
+  // All ranks' trace events as one Chrome trace-event JSON document:
+  // {"traceEvents": [...], "displayTimeUnit": "ms"}.  tid = rank,
+  // pid = run incarnation, ts in simulated microseconds.  Deterministic
+  // for a deterministic program (timestamps come from the sim clock).
+  [[nodiscard]] std::string trace_json() const;
+
+ private:
+  TelemetryConfig config_;
+  std::uint32_t run_count_ = 0;
+  std::vector<std::unique_ptr<RankTelemetry>> ranks_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace collrep::obs

@@ -25,10 +25,52 @@ inline constexpr int kAllgather = 4 << 20;
 inline constexpr int kScatter = 5 << 20;
 }  // namespace tags
 
+namespace detail {
+
+// Logical round count of a binomial-tree collective over n ranks
+// (ceil(log2 n); the per-round cost model lives in RunState::barrier_cost).
+[[nodiscard]] inline std::uint64_t tree_rounds(int n) noexcept {
+  std::uint64_t rounds = 0;
+  for (int span = 1; span < n; span <<= 1) ++rounds;
+  return rounds;
+}
+
+// RAII telemetry wrapper for one collective invocation: bumps the per-kind
+// call/round counters on entry and brackets the body with trace events.
+// A no-op (single null check) when the run has no telemetry attached.
+class CollectiveScope {
+ public:
+  CollectiveScope(Comm& comm, obs::CollectiveKind kind, std::uint64_t rounds)
+      : obs_(comm.obs()), comm_(&comm), kind_(kind) {
+    if (!obs_) return;
+    ++obs_->comm.collective_calls[obs::index_of(kind)];
+    obs_->comm.collective_rounds[obs::index_of(kind)] += rounds;
+    obs_->event(obs::EventKind::kCollectiveBegin, comm.clock().now(),
+                obs::to_string(kind), rounds);
+  }
+  ~CollectiveScope() {
+    if (!obs_) return;
+    obs_->event(obs::EventKind::kCollectiveEnd, comm_->clock().now(),
+                obs::to_string(kind_));
+  }
+
+  CollectiveScope(const CollectiveScope&) = delete;
+  CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+ private:
+  obs::RankTelemetry* obs_;
+  Comm* comm_;
+  obs::CollectiveKind kind_;
+};
+
+}  // namespace detail
+
 // Broadcast `value` from `root` to all ranks (binomial tree).
 template <class T>
 void bcast(Comm& comm, T& value, int root = 0) {
   const int n = comm.size();
+  const detail::CollectiveScope scope(comm, obs::CollectiveKind::kBcast,
+                                      detail::tree_rounds(n));
   if (n == 1) return;
   const int vrank = (comm.rank() - root + n) % n;
 
@@ -55,6 +97,8 @@ void bcast(Comm& comm, T& value, int root = 0) {
 template <class T, class Op>
 T reduce(Comm& comm, T value, Op op, int root = 0) {
   const int n = comm.size();
+  const detail::CollectiveScope scope(comm, obs::CollectiveKind::kReduce,
+                                      detail::tree_rounds(n));
   const int vrank = (comm.rank() - root + n) % n;
   for (int mask = 1; mask < n; mask <<= 1) {
     if ((vrank & mask) != 0) {
@@ -75,6 +119,10 @@ T reduce(Comm& comm, T value, Op op, int root = 0) {
 // paper's ALLREDUCE(HMERGE, LHashes) step.
 template <class T, class Op>
 T allreduce(Comm& comm, T value, Op op) {
+  // Rounds = reduce + bcast halves; the nested calls also count themselves
+  // under their own kinds.
+  const detail::CollectiveScope scope(comm, obs::CollectiveKind::kAllreduce,
+                                      2 * detail::tree_rounds(comm.size()));
   value = reduce(comm, std::move(value), std::move(op), 0);
   bcast(comm, value, 0);
   return value;
@@ -85,6 +133,9 @@ T allreduce(Comm& comm, T value, Op op) {
 template <class T>
 std::vector<T> gather(Comm& comm, const T& value, int root = 0) {
   const int n = comm.size();
+  const detail::CollectiveScope scope(
+      comm, obs::CollectiveKind::kGather,
+      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0));
   if (comm.rank() != root) {
     comm.send_value(root, tags::kGather, value);
     return {};
@@ -105,6 +156,9 @@ std::vector<T> gather(Comm& comm, const T& value, int root = 0) {
 template <class T>
 T scatter(Comm& comm, const std::vector<T>& values, int root = 0) {
   const int n = comm.size();
+  const detail::CollectiveScope scope(
+      comm, obs::CollectiveKind::kScatter,
+      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0));
   if (comm.rank() == root) {
     for (int r = 0; r < n; ++r) {
       if (r != root) comm.send_value(r, tags::kScatter, values[r]);
@@ -119,6 +173,9 @@ T scatter(Comm& comm, const std::vector<T>& values, int root = 0) {
 template <class T>
 std::vector<T> allgather(Comm& comm, const T& value) {
   const int n = comm.size();
+  const detail::CollectiveScope scope(
+      comm, obs::CollectiveKind::kAllgather,
+      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0));
   const int r = comm.rank();
   std::vector<T> out(static_cast<std::size_t>(n));
   out[static_cast<std::size_t>(r)] = value;

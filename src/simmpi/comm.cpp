@@ -12,6 +12,16 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::uint8_t> data) {
     throw std::out_of_range("simmpi: send to invalid rank");
   }
   const auto& cl = cluster();
+  if (obs_) {
+    auto& cs = obs_->comm;
+    ++cs.sent_messages;
+    cs.sent_bytes += data.size();
+    auto& per_tag = cs.sent_by_tag[tag];
+    ++per_tag.messages;
+    per_tag.bytes += data.size();
+    (cl.same_node(rank_, dst) ? cs.intra_node_sent_bytes
+                              : cs.inter_node_sent_bytes) += data.size();
+  }
   // Sender-side copy-out overhead, then in-flight latency/bandwidth.
   clock_.advance(static_cast<double>(data.size()) / cl.mem_bandwidth_bps);
   detail::Message msg{
@@ -25,15 +35,23 @@ std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag) {
     throw std::out_of_range("simmpi: recv from invalid rank");
   }
   auto msg = state_->mailbox(rank_).pop(src, tag, state_->aborted());
+  if (obs_) {
+    ++obs_->comm.recv_messages;
+    obs_->comm.recv_bytes += msg.payload.size();
+  }
   clock_.at_least(msg.arrival_time);
   clock_.advance(static_cast<double>(msg.payload.size()) /
                  cluster().mem_bandwidth_bps);
   return std::move(msg.payload);
 }
 
-void Comm::barrier() { clock_.at_least(state_->sync(clock_.now())); }
+void Comm::barrier() {
+  if (obs_) ++obs_->comm.barriers;
+  clock_.at_least(state_->sync(clock_.now()));
+}
 
 Window Comm::win_create(std::size_t local_bytes) {
+  if (obs_) ++obs_->comm.windows_created;
   const int id = next_win_id_++;
   state_->window_register(rank_, id, local_bytes);
   barrier();  // all regions allocated before any put
@@ -68,9 +86,19 @@ void Window::put(int target, std::size_t offset,
       ws.node_inter_sent[static_cast<std::size_t>(src_node)] += modeled_bytes;
       ws.node_inter_recv[static_cast<std::size_t>(dst_node)] += modeled_bytes;
     }
+    ws.rank_recv[static_cast<std::size_t>(target)] += modeled_bytes;
     ws.last_put_issue = std::max(ws.last_put_issue, comm_->clock().now());
   }
   comm_->epoch_bytes_put_ += modeled_bytes;
+  if (auto* t = comm_->obs_) {
+    auto& cs = t->comm;
+    ++cs.puts;
+    cs.put_bytes += modeled_bytes;
+    (src_node == dst_node ? cs.intra_node_put_bytes
+                          : cs.inter_node_put_bytes) += modeled_bytes;
+    t->event(obs::EventKind::kPut, comm_->clock().now(), "put", modeled_bytes,
+             static_cast<std::uint64_t>(target));
+  }
   comm_->charge(static_cast<double>(modeled_bytes) / cl.mem_bandwidth_bps);
 }
 
@@ -110,10 +138,23 @@ void Window::fence() {
         std::fill(ws.node_inter_sent.begin(), ws.node_inter_sent.end(), 0);
         std::fill(ws.node_inter_recv.begin(), ws.node_inter_recv.end(), 0);
         std::fill(ws.node_intra.begin(), ws.node_intra.end(), 0);
+        // Publish this epoch's per-rank deliveries and reset the open-epoch
+        // tally.  All ranks are still blocked in sync() here, so nobody can
+        // issue a next-epoch put before the swap, and every rank reads its
+        // epoch slot before it can reach the next fence.
+        ws.rank_recv.swap(ws.rank_recv_epoch);
+        std::fill(ws.rank_recv.begin(), ws.rank_recv.end(), 0);
         ws.last_put_issue = 0.0;
         return start + epoch + cl.net_latency_s;
       });
   comm_->clock().at_least(release);
+  comm_->epoch_bytes_recv_ =
+      ws.rank_recv_epoch[static_cast<std::size_t>(comm_->rank())];
+  if (auto* t = comm_->obs_) {
+    ++t->comm.window_epochs;
+    t->event(obs::EventKind::kFence, comm_->clock().now(), "fence",
+             comm_->epoch_bytes_put_, comm_->epoch_bytes_recv_);
+  }
   comm_->epoch_bytes_put_ = 0;
 }
 

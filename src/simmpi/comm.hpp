@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "simmpi/archive.hpp"
 #include "simmpi/runtime.hpp"
 #include "simtime/cluster.hpp"
@@ -20,7 +21,10 @@ class Window;
 
 class Comm {
  public:
-  Comm(RunState& state, int rank) : state_(&state), rank_(rank) {}
+  Comm(RunState& state, int rank)
+      : state_(&state),
+        rank_(rank),
+        obs_(state.telemetry() ? &state.telemetry()->rank(rank) : nullptr) {}
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -36,6 +40,10 @@ class Comm {
 
   [[nodiscard]] sim::SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] const sim::SimClock& clock() const noexcept { return clock_; }
+
+  // This rank's telemetry slice, or nullptr when the run has no
+  // obs::Telemetry attached (RuntimeOptions::telemetry).
+  [[nodiscard]] obs::RankTelemetry* obs() const noexcept { return obs_; }
   // Charge local compute time to this rank.
   void charge(double seconds) noexcept { clock_.advance(seconds); }
 
@@ -64,10 +72,18 @@ class Comm {
   // Collective: every rank exposes `local_bytes` of zero-initialized memory.
   [[nodiscard]] Window win_create(std::size_t local_bytes);
 
-  // Tracks per-rank bytes sent/received through windows of the current
-  // epoch (for DumpStats); reset by win_fence.
+  // Modeled bytes this rank has put through windows in the epoch that is
+  // currently open (for DumpStats); reset to 0 by every fence.
   [[nodiscard]] std::uint64_t epoch_bytes_put() const noexcept {
     return epoch_bytes_put_;
+  }
+
+  // Modeled bytes that were delivered *into this rank's* window regions
+  // during the most recently completed epoch.  Counted at fence delivery
+  // (puts are not visible before the fence), so it reads 0 until the first
+  // fence and is overwritten by each subsequent one.
+  [[nodiscard]] std::uint64_t epoch_bytes_recv() const noexcept {
+    return epoch_bytes_recv_;
   }
 
  private:
@@ -75,8 +91,10 @@ class Comm {
 
   RunState* state_;
   int rank_;
+  obs::RankTelemetry* obs_ = nullptr;
   sim::SimClock clock_;
   std::uint64_t epoch_bytes_put_ = 0;
+  std::uint64_t epoch_bytes_recv_ = 0;
   int next_win_id_ = 0;  // advances identically on all ranks (collective)
 };
 

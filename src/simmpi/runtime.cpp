@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/telemetry.hpp"
 #include "simmpi/comm.hpp"
 
 namespace collrep::simmpi {
@@ -46,6 +47,7 @@ RunState::RunState(int nranks, RuntimeOptions opts)
   for (int i = 0; i < nranks; ++i) {
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
   }
+  if (opts_.telemetry) opts_.telemetry->begin_run(nranks);
 }
 
 void RunState::abort() noexcept {
@@ -141,6 +143,7 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  if (opts_.telemetry) opts_.telemetry->end_run();
 
   if (first_error) std::rethrow_exception(first_error);
   if (state.aborted().load()) {

@@ -23,6 +23,10 @@
 
 #include "simtime/cluster.hpp"
 
+namespace collrep::obs {
+class Telemetry;
+}  // namespace collrep::obs
+
 namespace collrep::simmpi {
 
 class Comm;
@@ -36,6 +40,11 @@ class AbortedError : public std::runtime_error {
 
 struct RuntimeOptions {
   sim::ClusterConfig cluster = sim::ClusterConfig::shamrock();
+  // Optional observability attachment (src/obs).  nullptr (the default)
+  // disables all telemetry; the instrumentation then costs one untaken
+  // branch per site.  The Telemetry object must outlive the Runtime::run()
+  // calls it observes and may span several of them.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 namespace detail {
@@ -70,7 +79,9 @@ struct WindowState {
         locks(std::make_unique<std::mutex[]>(static_cast<std::size_t>(nranks))),
         node_inter_sent(nnodes, 0),
         node_inter_recv(nnodes, 0),
-        node_intra(nnodes, 0) {}
+        node_intra(nnodes, 0),
+        rank_recv(static_cast<std::size_t>(nranks), 0),
+        rank_recv_epoch(static_cast<std::size_t>(nranks), 0) {}
 
   std::vector<std::vector<std::uint8_t>> buffers;  // one region per rank
   std::unique_ptr<std::mutex[]> locks;             // guards buffers[i]
@@ -81,6 +92,11 @@ struct WindowState {
   std::vector<std::uint64_t> node_inter_sent;
   std::vector<std::uint64_t> node_inter_recv;
   std::vector<std::uint64_t> node_intra;
+  // Modeled bytes put toward each rank in the open epoch; the fence swaps
+  // this into rank_recv_epoch so every rank can read what was delivered to
+  // it (Comm::epoch_bytes_recv) without racing next-epoch puts.
+  std::vector<std::uint64_t> rank_recv;
+  std::vector<std::uint64_t> rank_recv_epoch;
   double last_put_issue = 0.0;
   int free_count = 0;
 };
@@ -103,6 +119,10 @@ class RunState {
   }
 
   void abort() noexcept;
+
+  [[nodiscard]] obs::Telemetry* telemetry() const noexcept {
+    return opts_.telemetry;
+  }
 
   // Clock-aligning rendezvous: every rank contributes its clock; the last
   // arriving rank maps the maximum through `on_release` (may be null for a

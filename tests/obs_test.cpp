@@ -1,0 +1,449 @@
+// Telemetry layer: exact counter values for known communication patterns,
+// Chrome trace-event export (valid JSON, one track per rank, deterministic),
+// metrics registry semantics, and bounded-ring behavior.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chunk/dataset.hpp"
+#include "chunk/store.hpp"
+#include "core/dump.hpp"
+#include "hash/fingerprint.hpp"
+#include "obs/telemetry.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using namespace collrep;
+
+// -- minimal JSON validator ----------------------------------------------------
+// Recursive-descent parser that accepts exactly the JSON grammar; used to
+// prove the exported documents are machine-readable without pulling in a
+// JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s)
+      : p_(s.data()), end_(s.data() + s.size()) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+      }
+      ++p_;
+    }
+    return consume('"');
+  }
+  bool number() {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    while (p_ < end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                         *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                         *p_ == '-')) {
+      ++p_;
+    }
+    return p_ > start;
+  }
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    do {
+      skip_ws();
+      if (!string()) return false;
+      if (!consume(':')) return false;
+      if (!value()) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (consume(','));
+    return consume(']');
+  }
+  bool value() {
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// Pulls `"key": <integer or string>` off one exported line; relies on the
+// exporters emitting one event per line (asserted by the format tests).
+std::string field_of(const std::string& line, const std::string& key) {
+  const auto at = line.find("\"" + key + "\": ");
+  if (at == std::string::npos) return {};
+  auto start = at + key.size() + 4;
+  auto stop = start;
+  while (stop < line.size() && line[stop] != ',' && line[stop] != '}') ++stop;
+  return line.substr(start, stop - start);
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    out.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+// -- MetricsRegistry -----------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  obs::MetricsRegistry m;
+  m.add("a.count");
+  m.add("a.count", 41);
+  m.set("a.gauge", 2.5);
+  m.set("a.gauge", 3.5);  // last write wins
+  m.observe("a.hist", 0.5);
+  m.observe("a.hist", 3.0);
+  m.observe("a.hist", 1000.0);
+
+  EXPECT_EQ(m.counter("a.count"), 42u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(m.gauge("a.gauge"), 3.5);
+  const auto h = m.histogram("a.hist");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 1003.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_EQ(h.buckets[0], 1u);   // 0.5 -> [<1)
+  EXPECT_EQ(h.buckets[2], 1u);   // 3.0 -> [2,4)
+  EXPECT_EQ(h.buckets[10], 1u);  // 1000 -> [512,1024)
+}
+
+TEST(MetricsRegistry, JsonIsValidAndDeterministic) {
+  obs::MetricsRegistry m;
+  m.add("z.last", 1);
+  m.add("a.first", 2);
+  m.set("gauge.pi", 3.14159);
+  m.observe("hist.x", 7.0);
+
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Ordered keys: "a.first" serializes before "z.last".
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_EQ(json, m.to_json());
+}
+
+TEST(MetricsRegistry, EmptyRegistryStillValidJson) {
+  obs::MetricsRegistry m;
+  EXPECT_TRUE(JsonChecker(m.to_json()).valid());
+}
+
+// -- TraceRecorder -------------------------------------------------------------
+
+TEST(TraceRecorder, BoundedRingDropsOldest) {
+  obs::TraceRecorder rec(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record(obs::TraceEvent{obs::EventKind::kPut, 1,
+                               static_cast<double>(i), "put", i, 0});
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6 + i);  // oldest dropped, order preserved
+  }
+}
+
+// -- CommStats via the runtime -------------------------------------------------
+
+TEST(CommStats, AllreduceOn8RanksRecordsTreeRounds) {
+  obs::Telemetry tel;
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = &tel;
+  simmpi::Runtime rt(8, opts);
+  rt.run([&](simmpi::Comm& comm) {
+    const int sum = simmpi::allreduce_sum(comm, 1);
+    EXPECT_EQ(sum, 8);
+  });
+
+  for (int r = 0; r < 8; ++r) {
+    const auto& cs = tel.rank(r).comm;
+    EXPECT_EQ(cs.collective_calls[obs::index_of(obs::CollectiveKind::kAllreduce)],
+              1u);
+    // allreduce = binomial reduce + binomial bcast, each ceil(log2 8) = 3
+    // rounds (collectives.hpp); the nested halves count themselves too.
+    EXPECT_EQ(cs.collective_rounds[obs::index_of(obs::CollectiveKind::kAllreduce)],
+              6u);
+    EXPECT_EQ(cs.collective_calls[obs::index_of(obs::CollectiveKind::kReduce)],
+              1u);
+    EXPECT_EQ(cs.collective_rounds[obs::index_of(obs::CollectiveKind::kReduce)],
+              3u);
+    EXPECT_EQ(cs.collective_calls[obs::index_of(obs::CollectiveKind::kBcast)],
+              1u);
+    EXPECT_EQ(cs.collective_rounds[obs::index_of(obs::CollectiveKind::kBcast)],
+              3u);
+  }
+  const auto total = tel.rollup();
+  EXPECT_EQ(total.collective_calls[obs::index_of(obs::CollectiveKind::kAllreduce)],
+            8u);
+}
+
+TEST(CommStats, PointToPointByTagAndLocality) {
+  obs::Telemetry tel;
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = &tel;
+  opts.cluster.ranks_per_node = 2;  // ranks {0,1} share a node, {2,3} too
+  simmpi::Runtime rt(4, opts);
+  rt.run([&](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<std::uint8_t> payload(100, 1);
+      comm.send_bytes(1, /*tag=*/7, payload);  // intra-node
+      comm.send_bytes(2, /*tag=*/9, payload);  // inter-node
+    }
+    if (comm.rank() == 1) (void)comm.recv_bytes(0, 7);
+    if (comm.rank() == 2) (void)comm.recv_bytes(0, 9);
+  });
+
+  const auto& r0 = tel.rank(0).comm;
+  EXPECT_EQ(r0.sent_messages, 2u);
+  EXPECT_EQ(r0.sent_bytes, 200u);
+  EXPECT_EQ(r0.intra_node_sent_bytes, 100u);
+  EXPECT_EQ(r0.inter_node_sent_bytes, 100u);
+  ASSERT_EQ(r0.sent_by_tag.size(), 2u);
+  EXPECT_EQ(r0.sent_by_tag.at(7).messages, 1u);
+  EXPECT_EQ(r0.sent_by_tag.at(7).bytes, 100u);
+  EXPECT_EQ(r0.sent_by_tag.at(9).bytes, 100u);
+  EXPECT_EQ(tel.rank(1).comm.recv_messages, 1u);
+  EXPECT_EQ(tel.rank(1).comm.recv_bytes, 100u);
+  EXPECT_EQ(tel.rollup().sent_bytes, tel.rollup().recv_bytes);
+}
+
+TEST(CommStats, DisabledTelemetryLeavesRunUntouched) {
+  simmpi::Runtime rt(4);  // RuntimeOptions::telemetry defaults to nullptr
+  int sum = 0;
+  rt.run([&](simmpi::Comm& comm) {
+    EXPECT_EQ(comm.obs(), nullptr);
+    const int s = simmpi::allreduce_sum(comm, comm.rank());
+    if (comm.rank() == 0) sum = s;
+  });
+  EXPECT_EQ(sum, 6);
+}
+
+// -- full dump pipeline --------------------------------------------------------
+
+constexpr int kRanks = 4;
+constexpr std::size_t kChunk = 64;
+
+// Datasets are non-owning views, so each rank's backing bytes live in a
+// caller-held vector for the duration of the run.
+std::vector<std::uint8_t> rank_bytes(int rank) {
+  // 8 chunks: 6 identical on every rank (natural redundancy), 2 unique.
+  std::vector<std::uint8_t> data(8 * kChunk);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  for (std::size_t i = 6 * kChunk; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>((i * 31 + 7) % 253 + rank * 2);
+  }
+  return data;
+}
+
+struct DumpRun {
+  std::vector<core::DumpStats> stats =
+      std::vector<core::DumpStats>(kRanks);
+  core::GlobalDumpStats global;
+};
+
+DumpRun run_instrumented_dump(obs::Telemetry* tel) {
+  DumpRun out;
+  std::vector<chunk::ChunkStore> stores;
+  std::vector<std::vector<std::uint8_t>> bytes;
+  for (int r = 0; r < kRanks; ++r) {
+    stores.emplace_back(chunk::StoreMode::kPayload);
+    bytes.push_back(rank_bytes(r));
+  }
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = tel;
+  simmpi::Runtime rt(kRanks, opts);
+  rt.run([&](simmpi::Comm& comm) {
+    core::DumpConfig cfg;
+    cfg.chunk_bytes = kChunk;
+    core::Dumper dumper(comm, stores[static_cast<std::size_t>(comm.rank())],
+                        cfg);
+    chunk::Dataset ds;
+    ds.add_segment(bytes[static_cast<std::size_t>(comm.rank())]);
+    const auto stats = dumper.dump_output(ds, /*k=*/2);
+    out.stats[static_cast<std::size_t>(comm.rank())] = stats;
+    const auto g = core::Dumper::collect(comm, stats);
+    if (comm.rank() == 0) out.global = g;
+  });
+  return out;
+}
+
+TEST(DumpTelemetry, WindowPutBytesMatchDumpStats) {
+  obs::Telemetry tel;
+  const DumpRun run = run_instrumented_dump(&tel);
+
+  constexpr std::uint64_t kHeader =
+      hash::Fingerprint::kBytes + sizeof(std::uint32_t);
+  std::uint64_t total_sent_bytes = 0;
+  std::uint64_t total_sent_chunks = 0;
+  for (const auto& s : run.stats) {
+    total_sent_bytes += s.sent_bytes;
+    total_sent_chunks += s.sent_chunks;
+    // Per-rank: the rank put exactly what DumpStats says it replicated,
+    // plus one record header per chunk.
+    const auto& cs = tel.rank(s.rank).comm;
+    EXPECT_EQ(cs.put_bytes, s.sent_bytes + kHeader * s.sent_chunks);
+    EXPECT_EQ(cs.puts, s.sent_chunks);
+    EXPECT_EQ(cs.windows_created, 1u);
+    EXPECT_EQ(cs.window_epochs, 1u);
+  }
+  EXPECT_GT(total_sent_bytes, 0u);
+  EXPECT_EQ(run.global.total_sent_bytes, total_sent_bytes);
+
+  const auto total = tel.rollup();
+  EXPECT_EQ(total.put_bytes, total_sent_bytes + kHeader * total_sent_chunks);
+
+  // The registry mirrors both the per-rank accumulation and the roll-up.
+  const auto& m = tel.metrics();
+  EXPECT_EQ(m.counter("dump.sent_bytes"), total_sent_bytes);
+  EXPECT_DOUBLE_EQ(m.gauge("dump.last.total_sent_bytes"),
+                   static_cast<double>(run.global.total_sent_bytes));
+  EXPECT_EQ(m.counter("dump.count"), 1u);
+  tel.publish_rollup();
+  EXPECT_DOUBLE_EQ(m.gauge("comm.put_bytes"),
+                   static_cast<double>(total.put_bytes));
+}
+
+TEST(DumpTelemetry, EpochRecvMatchesPartnerSends) {
+  obs::Telemetry tel;
+  const DumpRun run = run_instrumented_dump(&tel);
+  // Every modeled byte put must have been delivered to some window.
+  constexpr std::uint64_t kHeader =
+      hash::Fingerprint::kBytes + sizeof(std::uint32_t);
+  std::uint64_t recv_total = 0;
+  for (const auto& s : run.stats) {
+    recv_total += s.recv_bytes + kHeader * s.recv_chunks;
+  }
+  EXPECT_EQ(tel.rollup().put_bytes, recv_total);
+}
+
+TEST(DumpTelemetry, TraceIsValidChromeJsonWithOneTrackPerRank) {
+  obs::Telemetry tel;
+  (void)run_instrumented_dump(&tel);
+  const std::string json = tel.trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+
+  std::set<std::string> tids;
+  std::map<std::string, int> depth;  // per tid B/E nesting
+  int events = 0;
+  bool saw_phase_named[2] = {false, false};
+  for (const auto& line : lines_of(json)) {
+    const std::string tid = field_of(line, "tid");
+    if (tid.empty()) continue;
+    ++events;
+    tids.insert(tid);
+    const std::string ph = field_of(line, "ph");
+    if (ph == "\"B\"") ++depth[tid];
+    if (ph == "\"E\"") {
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "unbalanced E on tid " << tid;
+    }
+    if (line.find("\"name\": \"hash\"") != std::string::npos) {
+      saw_phase_named[0] = true;
+    }
+    if (line.find("\"name\": \"exchange\"") != std::string::npos) {
+      saw_phase_named[1] = true;
+    }
+  }
+  EXPECT_GT(events, 0);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kRanks));
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced begin/end on tid " << tid;
+  }
+  EXPECT_TRUE(saw_phase_named[0]);
+  EXPECT_TRUE(saw_phase_named[1]);
+}
+
+TEST(DumpTelemetry, TraceIsBitReproducible) {
+  obs::Telemetry tel_a;
+  obs::Telemetry tel_b;
+  (void)run_instrumented_dump(&tel_a);
+  (void)run_instrumented_dump(&tel_b);
+  EXPECT_EQ(tel_a.trace_json(), tel_b.trace_json());
+  tel_a.publish_rollup();
+  tel_b.publish_rollup();
+  EXPECT_EQ(tel_a.metrics().to_json(), tel_b.metrics().to_json());
+}
+
+TEST(DumpTelemetry, CountersAccumulateAcrossRuns) {
+  obs::Telemetry tel;
+  const DumpRun first = run_instrumented_dump(&tel);
+  const auto after_one = tel.rollup().put_bytes;
+  (void)run_instrumented_dump(&tel);
+  EXPECT_EQ(tel.rollup().put_bytes, 2 * after_one);
+  EXPECT_EQ(tel.runs(), 2u);
+  EXPECT_EQ(tel.metrics().counter("dump.count"), 2u);
+  EXPECT_EQ(tel.metrics().counter("dump.sent_bytes"),
+            2 * first.global.total_sent_bytes);
+}
+
+}  // namespace

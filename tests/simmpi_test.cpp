@@ -198,4 +198,48 @@ TEST(Runtime, ReusableForSequentialRuns) {
   }
 }
 
+TEST(Window, EpochBytesRecvCountedAtFenceDelivery) {
+  simmpi::Runtime rt(3);
+  rt.run([&](simmpi::Comm& comm) {
+    auto win = comm.win_create(256);
+    // Rank 0 sends 32 modeled bytes to rank 1 and 64 (16 real standing in
+    // for 64 on the wire) to rank 2; nobody targets rank 0.
+    if (comm.rank() == 0) {
+      const std::vector<std::uint8_t> data(32, 0xAB);
+      win.put(1, 0, data);
+      win.put(2, 0, std::span<const std::uint8_t>{data.data(), 16}, 64);
+    }
+    // Nothing is delivered before the fence.
+    EXPECT_EQ(comm.epoch_bytes_recv(), 0u);
+    win.fence();
+    const std::uint64_t expected =
+        comm.rank() == 1 ? 32u : (comm.rank() == 2 ? 64u : 0u);
+    EXPECT_EQ(comm.epoch_bytes_recv(), expected);
+    EXPECT_EQ(comm.epoch_bytes_put(), 0u);  // put tally reset by the fence
+
+    // An empty follow-up epoch overwrites the reading with 0.
+    win.fence();
+    EXPECT_EQ(comm.epoch_bytes_recv(), 0u);
+    win.free();
+  });
+}
+
+TEST(Window, EpochBytesRecvResetsPerEpoch) {
+  simmpi::Runtime rt(2);
+  rt.run([&](simmpi::Comm& comm) {
+    auto win = comm.win_create(64);
+    const std::vector<std::uint8_t> data(8, 1);
+    if (comm.rank() == 0) win.put(1, 0, data);
+    win.fence();
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.epoch_bytes_recv(), 8u);
+    }
+    // Second epoch flows the other way; readings track the latest fence.
+    if (comm.rank() == 1) win.put(0, 0, data);
+    win.fence();
+    EXPECT_EQ(comm.epoch_bytes_recv(), comm.rank() == 0 ? 8u : 0u);
+    win.free();
+  });
+}
+
 }  // namespace
