@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Fault-injection determinism sweep: runs the failure ablation twice per
+# seed and requires bit-identical stdout and metrics JSON.  Seeded victim
+# selection plus the simulated clock make every run reproducible — any
+# divergence here means nondeterminism crept into the fault or repair path.
+#
+#   scripts/fault_sweep.sh                 # default seeds
+#   scripts/fault_sweep.sh 11 22 33        # explicit seeds
+#   COLLREP_QUICK=1 scripts/fault_sweep.sh # reduced rank count
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+bench="build/bench/ablate_failures"
+if [[ ! -x "$bench" ]]; then
+  cmake -B build -S .
+  cmake --build build -j --target ablate_failures
+fi
+
+seeds=("$@")
+if [[ ${#seeds[@]} -eq 0 ]]; then
+  seeds=(1 7 42 1234)
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail=0
+for seed in "${seeds[@]}"; do
+  for run in a b; do
+    "$bench" --seed="$seed" --metrics="$tmp/$seed.$run.json" \
+      > "$tmp/$seed.$run.txt" 2> /dev/null
+  done
+  if cmp -s "$tmp/$seed.a.json" "$tmp/$seed.b.json" &&
+     cmp -s "$tmp/$seed.a.txt" "$tmp/$seed.b.txt"; then
+    echo "seed $seed: OK (stdout and metrics bit-identical)"
+  else
+    echo "seed $seed: FAIL (runs diverged)" >&2
+    diff "$tmp/$seed.a.txt" "$tmp/$seed.b.txt" >&2 || true
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "fault_sweep: FAIL" >&2
+  exit 1
+fi
+echo "fault_sweep: OK"

@@ -21,8 +21,9 @@ if [[ -n "${COLLREP_SANITIZE:-}" ]]; then
   cmake -B "$san_dir" -S . -DCOLLREP_SANITIZE="${COLLREP_SANITIZE}"
   # The threaded-runtime tests are where a sanitizer earns its keep.
   cmake --build "$san_dir" -j --target \
-    simmpi_test obs_test collectives_test window_test stress_test
-  for t in simmpi_test obs_test collectives_test window_test stress_test; do
+    simmpi_test obs_test collectives_test window_test stress_test fault_test
+  for t in simmpi_test obs_test collectives_test window_test stress_test \
+           fault_test; do
     "$san_dir/tests/$t"
   done
 fi

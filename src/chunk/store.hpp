@@ -129,9 +129,35 @@ class ChunkStore {
   }
 
   // -- failure injection ----------------------------------------------------
+  // Two recovery modes model two distinct hardware outcomes:
+  //  * recover(): transient outage (power cut, controller reset, network
+  //    partition) — the device comes back with its pre-failure contents
+  //    intact, so earlier replicas silently resurface;
+  //  * recover_empty(): permanent device loss — the node is replaced with a
+  //    blank disk, so the store rejoins alive but holding nothing and the
+  //    repair scrub (core::repair_replicas) must re-replicate what it
+  //    should hold.
+  // The failure-injection tests use recover() for blip scenarios and
+  // recover_empty() for the ReStore-style "re-replicate after recovery"
+  // scenarios.
   void fail() noexcept { failed_ = true; }
   void recover() noexcept { failed_ = false; }
+  void recover_empty() {
+    wipe();
+    failed_ = false;
+  }
+  // Drops all contents (chunks, manifests, blobs) without changing the
+  // failed flag; models a scrubbed or replaced medium.
+  void wipe() { clear(); }
   [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  // Scrub iteration (repair audit): visits every stored chunk as
+  // (fingerprint, length).  Order is unspecified; throws if failed.
+  template <class Fn>
+  void for_each_chunk(Fn&& fn) const {
+    check_alive();
+    for (const auto& [fp, slot] : chunks_) fn(fp, slot.length);
+  }
 
   // -- accounting -----------------------------------------------------------
   [[nodiscard]] std::uint64_t stored_bytes() const noexcept {

@@ -24,6 +24,7 @@
 #include "chunk/cdc.hpp"        // IWYU pragma: export
 #include "core/dump.hpp"        // IWYU pragma: export
 #include "core/planner.hpp"     // IWYU pragma: export
+#include "core/repair.hpp"      // IWYU pragma: export
 #include "core/restore.hpp"     // IWYU pragma: export
 #include "hash/hasher.hpp"      // IWYU pragma: export
 #include "simmpi/collectives.hpp"  // IWYU pragma: export

@@ -5,8 +5,11 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <unordered_set>
+
 #include "core/local_dedup.hpp"
 #include "core/planner.hpp"
+#include "core/repair.hpp"
 
 namespace collrep::core {
 
@@ -103,6 +106,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   stats.k_effective = keff;
 
   PhaseClock phase(comm_, "hash");
+  comm_.fault_point("dump.hash", config_.epoch);
 
   // ---- Phase 1: chunking, fingerprinting, local dedup ----------------------
   const bool cdc = config_.chunking == ChunkingMode::kContentDefined;
@@ -132,6 +136,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
                      cluster.chunk_overhead_s);
   }
   stats.phases.hash_s = phase.lap("reduction");
+  comm_.fault_point("dump.reduction", config_.epoch);
 
   // ---- Phase 2: collective reduction of fingerprint frequencies ------------
   BoundedFpSet gview;
@@ -159,6 +164,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     stats.gview_entries = static_cast<std::uint32_t>(gview.size());
   }
   stats.phases.reduction_s = phase.lap("planning");
+  comm_.fault_point("dump.planning", config_.epoch);
 
   // ---- Phase 3: load vectors, allgather, shuffle, offsets -------------------
   ReplicaPlan plan;
@@ -218,6 +224,7 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   stats.discarded_bytes = plan.discarded_bytes;
   stats.skip_fallbacks = plan.skip_fallbacks;
   stats.phases.planning_s = phase.lap("exchange");
+  comm_.fault_point("dump.exchange", config_.epoch);
 
   // ---- Phase 4: single-sided chunk exchange --------------------------------
   const std::size_t slot_bytes =
@@ -271,9 +278,16 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     }
   }
 
+  // Post-put, pre-fence: the puts are already in flight when this fires,
+  // which is exactly the mid-exchange store loss the degraded path must
+  // survive (the victim's outgoing replicas land, its incoming ones drop).
+  comm_.fault_point("dump.exchange.mid", config_.epoch);
   win.fence();
 
-  // Parse the received records and stage them for local commit.
+  // Parse the received records and stage them for local commit.  A dead
+  // store drops its incoming replicas on the floor (counted, not thrown):
+  // the wire transfer already happened, only the device write is skipped.
+  const bool commit_received = !store_.failed();
   const auto region = win.local();
   for (std::uint64_t s = 0; s < my_window_slots; ++s) {
     const std::uint8_t* rec = region.data() + s * slot_bytes;
@@ -283,6 +297,11 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     std::memcpy(&len, rec + hash::Fingerprint::kBytes, sizeof len);
     ++stats.recv_chunks;
     stats.recv_bytes += len;
+    if (!commit_received) {
+      ++stats.commit_skipped_chunks;
+      stats.commit_skipped_bytes += len;
+      continue;
+    }
     if (config_.payload_exchange) {
       store_.put(fp,
                  std::span<const std::uint8_t>{rec + kRecordHeaderBytes, len});
@@ -316,8 +335,10 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
         chunk::ManifestEntry{local.chunk_fps[i], chunker.ref(i).length});
   }
   stats.manifest_bytes = chunk::manifest_wire_bytes(manifest);
-  store_.put_manifest(manifest);
+  if (!store_.failed()) store_.put_manifest(manifest);
   if (config_.replicate_manifest && keff > 1) {
+    // A rank with a dead store still sends its manifest (the data lives in
+    // memory) and still drains its incoming ones so partners don't block.
     for (int p = 1; p < keff; ++p) {
       comm_.send_value(partner_at(shuffle, my_pos, p), kManifestTagBase + p,
                        manifest);
@@ -325,14 +346,17 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     for (int p = 1; p < keff; ++p) {
       const int src =
           shuffle[static_cast<std::size_t>(((my_pos - p) % n + n) % n)];
-      store_.put_manifest(comm_.recv_value<chunk::Manifest>(
-          src, kManifestTagBase + p));
+      auto incoming =
+          comm_.recv_value<chunk::Manifest>(src, kManifestTagBase + p);
+      if (!store_.failed()) store_.put_manifest(std::move(incoming));
     }
   }
   stats.phases.exchange_s = phase.lap("storage");
 
   // ---- Phase 5: commit designated + kept chunks to the local device --------
+  comm_.fault_point("dump.commit", config_.epoch);
   const std::uint64_t stored_before_local = stats.stored_bytes;
+  const bool commit_local = !store_.failed();
   for (const ChunkAssignment& a : plan.assignments) {
     if (!a.store_local) continue;
     const std::size_t chunk_index =
@@ -341,6 +365,11 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
             : local.unique_chunks[a.chunk];
     const auto payload = chunker.bytes(chunk_index);
     const auto& fp = local.chunk_fps[chunk_index];
+    if (!commit_local) {
+      ++stats.commit_skipped_chunks;
+      stats.commit_skipped_bytes += payload.size();
+      continue;
+    }
     if (store_.mode() == chunk::StoreMode::kPayload) {
       store_.put(fp, payload);
     } else {
@@ -371,6 +400,37 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   comm_.charge(static_cast<double>(
                    node_bytes[static_cast<std::size_t>(comm_.node())]) /
                cluster.hdd_write_bps);
+
+  // Degraded-mode audit: one cheap liveness allgather per dump; the
+  // heavier health allreduce runs only when a store actually died, so the
+  // healthy path keeps its put/window counters bit-identical.
+  stats.store_alive = !store_.failed();
+  const auto alive_flags = simmpi::allgather(
+      comm_, static_cast<std::uint8_t>(stats.store_alive ? 1 : 0));
+  int alive_count = 0;
+  for (const auto f : alive_flags) alive_count += f;
+  stats.k_achieved_min = keff;
+  if (alive_count < n) {
+    stats.degraded = true;
+    // Replica health over everything the surviving stores hold: naturally
+    // distributed duplicates and replicas from earlier epochs count toward
+    // K exactly as the repair scrub counts them.
+    const ReplicaHealthSet health = allreduce_health(comm_, store_, keff);
+    std::unordered_set<hash::Fingerprint, hash::FingerprintHash> seen;
+    int my_min = keff;
+    for (const auto& entry : manifest.entries) {
+      if (!seen.insert(entry.fp).second) continue;
+      const ReplicaHealthSet::Entry* h = health.find(entry.fp);
+      const int achieved =
+          h == nullptr ? 0 : std::min(static_cast<int>(h->count), keff);
+      my_min = std::min(my_min, achieved);
+      if (achieved < keff) {
+        ++stats.under_replicated_chunks;
+        stats.under_replicated_bytes += entry.length;
+      }
+    }
+    stats.k_achieved_min = my_min;
+  }
   stats.phases.storage_s = phase.lap();
 
   stats.total_time_s = comm_.clock().now() - phase.start;
@@ -391,6 +451,13 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     m.add("dump.recv_bytes", stats.recv_bytes);
     m.add("dump.stored_bytes", stats.stored_bytes);
     m.add("dump.manifest_bytes", stats.manifest_bytes);
+    if (stats.degraded) {
+      if (rank == 0) m.add("dump.degraded_count");
+      m.add("dump.under_replicated_chunks", stats.under_replicated_chunks);
+      m.add("dump.under_replicated_bytes", stats.under_replicated_bytes);
+      m.add("dump.commit_skipped_chunks", stats.commit_skipped_chunks);
+      m.add("dump.commit_skipped_bytes", stats.commit_skipped_bytes);
+    }
     m.observe("dump.rank_sent_bytes", static_cast<double>(stats.sent_bytes));
     m.observe("dump.rank_recv_bytes", static_cast<double>(stats.recv_bytes));
     if (rank == 0) {
@@ -412,6 +479,10 @@ GlobalDumpStats Dumper::collect(simmpi::Comm& comm, const DumpStats& mine) {
   g.avg_sent_bytes =
       static_cast<double>(g.total_sent_bytes) / comm.size();
   g.completion_time_s = simmpi::allreduce_max(comm, mine.total_time_s);
+  g.min_k_achieved = simmpi::allreduce(
+      comm, mine.k_achieved_min, [](int a, int b) { return a < b ? a : b; });
+  g.total_under_replicated_bytes =
+      simmpi::allreduce_sum(comm, mine.under_replicated_bytes);
   g.max_phases.hash_s = simmpi::allreduce_max(comm, mine.phases.hash_s);
   g.max_phases.reduction_s =
       simmpi::allreduce_max(comm, mine.phases.reduction_s);
@@ -438,6 +509,9 @@ GlobalDumpStats Dumper::collect(simmpi::Comm& comm, const DumpStats& mine) {
     m.set("dump.last.max_recv_bytes", static_cast<double>(g.max_recv_bytes));
     m.set("dump.last.avg_sent_bytes", g.avg_sent_bytes);
     m.set("dump.last.completion_time_s", g.completion_time_s);
+    m.set("dump.last.min_k_achieved", static_cast<double>(g.min_k_achieved));
+    m.set("dump.last.under_replicated_bytes",
+          static_cast<double>(g.total_under_replicated_bytes));
   }
   return g;
 }

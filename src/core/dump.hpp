@@ -83,6 +83,22 @@ struct DumpStats {
   std::uint64_t stored_bytes = 0;  // committed to the local device
   std::uint64_t manifest_bytes = 0;
 
+  // -- degraded-mode bookkeeping (store failures mid-dump) -------------------
+  // Whether this rank's own store survived the dump; when it did not, the
+  // commits it would have performed are skipped (and counted below) but the
+  // collective still completes on every rank.
+  bool store_alive = true;
+  // True when any rank's store was down: achieved replication is then
+  // audited with one extra health allreduce and may fall short of K.
+  bool degraded = false;
+  // Minimum achieved replica count over this rank's chunks (== k_effective
+  // for a healthy dump; 0 when a chunk has no surviving replica at all).
+  int k_achieved_min = 0;
+  std::uint64_t under_replicated_chunks = 0;  // distinct fps below K_eff
+  std::uint64_t under_replicated_bytes = 0;
+  std::uint64_t commit_skipped_chunks = 0;  // dropped: own store was down
+  std::uint64_t commit_skipped_bytes = 0;
+
   std::uint32_t gview_entries = 0;
   std::uint32_t skip_fallbacks = 0;
   // Global count of (rank, partner) pairs sharing a node (0 when the
@@ -103,6 +119,10 @@ struct GlobalDumpStats {
   std::uint64_t max_recv_bytes = 0;
   double avg_sent_bytes = 0.0;
   double completion_time_s = 0.0;
+  // Degraded-mode roll-up: worst achieved replication across all ranks'
+  // chunks and the total payload bytes that fell short of K_eff.
+  int min_k_achieved = 0;
+  std::uint64_t total_under_replicated_bytes = 0;
   sim::PhaseBreakdown max_phases;
 };
 
@@ -112,7 +132,13 @@ class Dumper {
   // references; both must outlive it.
   Dumper(simmpi::Comm& comm, chunk::ChunkStore& store, DumpConfig config);
 
-  // Collective; every rank must call with the same K.
+  // Collective; every rank must call with the same K.  Survives store
+  // failures mid-dump: when a rank's store is down the collective still
+  // completes on every rank, the dead store's commits are skipped (counted
+  // in commit_skipped_*), and one extra health allreduce audits the
+  // achieved replication (k_achieved_min, under_replicated_*) so callers
+  // can decide between accepting the degraded checkpoint, retrying, or
+  // running core::repair_replicas (see ftrt::DegradedPolicy).
   DumpStats dump_output(const chunk::Dataset& buffer, int k);
 
   [[nodiscard]] const DumpConfig& config() const noexcept { return config_; }

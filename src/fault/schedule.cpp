@@ -1,0 +1,160 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/telemetry.hpp"
+
+namespace collrep::fault {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(FaultAction a) noexcept {
+  switch (a) {
+    case FaultAction::kFailStore:
+      return "fail_store";
+    case FaultAction::kWipeStore:
+      return "wipe_store";
+    case FaultAction::kRecoverStore:
+      return "recover_store";
+    case FaultAction::kKillRank:
+      return "kill_rank";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::add(FaultEvent event) {
+  if (event.point.empty()) {
+    throw std::invalid_argument("FaultSchedule: event needs a point name");
+  }
+  if (event.target < 0) event.target = event.rank;
+  events_.push_back(EventState{std::move(event), 0, false});
+}
+
+std::vector<int> FaultSchedule::add_random_store_failures(
+    int nranks, int count, std::string point, std::uint64_t epoch,
+    FaultAction action) {
+  if (nranks < 1) {
+    throw std::invalid_argument("FaultSchedule: nranks must be >= 1");
+  }
+  if (!rng_init_) {
+    rng_state_ = seed_;
+    rng_init_ = true;
+  }
+  std::vector<int> victims;
+  const int quota = std::min(count, nranks);
+  while (static_cast<int>(victims.size()) < quota) {
+    const int v = static_cast<int>(splitmix64(rng_state_) %
+                                   static_cast<std::uint64_t>(nranks));
+    if (std::find(victims.begin(), victims.end(), v) != victims.end()) {
+      continue;
+    }
+    victims.push_back(v);
+    FaultEvent ev;
+    ev.point = point;
+    ev.rank = v;
+    ev.target = v;
+    ev.epoch = epoch;
+    ev.action = action;
+    add(std::move(ev));
+  }
+  return victims;
+}
+
+void FaultSchedule::arm(std::span<chunk::ChunkStore* const> stores) {
+  stores_.assign(stores.begin(), stores.end());
+}
+
+void FaultSchedule::at_point(int rank, const char* point,
+                             std::uint64_t epoch, double sim_now) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    EventState& ev = events_[i];
+    if (ev.fired || ev.event.rank != rank) continue;
+    if (ev.event.epoch != simmpi::FaultHook::kAnyEpoch &&
+        ev.event.epoch != epoch) {
+      continue;
+    }
+    if (std::strcmp(ev.event.point.c_str(), point) != 0) continue;
+    if (ev.skipped < ev.event.skip) {
+      ++ev.skipped;
+      continue;
+    }
+    fire(i, rank, point, epoch, sim_now);
+  }
+}
+
+void FaultSchedule::fire(std::size_t index, int rank, const char* point,
+                         std::uint64_t epoch, double sim_now) {
+  EventState& ev = events_[index];
+  ev.fired = true;
+  const int target = ev.event.target;
+  if (ev.event.action != FaultAction::kKillRank) {
+    if (target < 0 || static_cast<std::size_t>(target) >= stores_.size() ||
+        stores_[static_cast<std::size_t>(target)] == nullptr) {
+      throw std::logic_error(
+          "FaultSchedule: store action fired without an armed store for "
+          "target " +
+          std::to_string(target) + " (call arm() before the run)");
+    }
+  }
+
+  {
+    std::scoped_lock lk(fired_mu_);
+    fired_.push_back(FiredFault{index, rank, target, epoch, ev.event.action,
+                                ev.event.point});
+  }
+  if (telemetry_ != nullptr) {
+    auto& rt = telemetry_->rank(rank);
+    rt.event(obs::EventKind::kFault, sim_now, to_string(ev.event.action),
+             static_cast<std::uint64_t>(target));
+    auto& m = telemetry_->metrics();
+    m.add("fault.injected");
+    switch (ev.event.action) {
+      case FaultAction::kFailStore:
+      case FaultAction::kWipeStore:
+        m.add("fault.store_failures");
+        break;
+      case FaultAction::kRecoverStore:
+        m.add("fault.store_recoveries");
+        break;
+      case FaultAction::kKillRank:
+        m.add("fault.rank_kills");
+        break;
+    }
+  }
+
+  chunk::ChunkStore* store =
+      ev.event.action == FaultAction::kKillRank
+          ? nullptr
+          : stores_[static_cast<std::size_t>(target)];
+  switch (ev.event.action) {
+    case FaultAction::kFailStore:
+      store->fail();
+      break;
+    case FaultAction::kWipeStore:
+      store->wipe();
+      store->fail();
+      break;
+    case FaultAction::kRecoverStore:
+      store->recover();
+      break;
+    case FaultAction::kKillRank:
+      throw RankKilledError(rank, point);
+  }
+}
+
+std::vector<FiredFault> FaultSchedule::fired() const {
+  std::scoped_lock lk(fired_mu_);
+  return fired_;
+}
+
+}  // namespace collrep::fault

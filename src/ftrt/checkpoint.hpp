@@ -9,13 +9,42 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/dump.hpp"
+#include "core/repair.hpp"
 #include "core/restore.hpp"
 #include "ftrt/tracked_arena.hpp"
 
 namespace collrep::ftrt {
+
+// What the runtime does when a dump comes back degraded (a store was down
+// and the achieved replication fell below K; see DumpStats::degraded).
+enum class DegradedPolicy : std::uint8_t {
+  kAbort = 0,  // throw DegradedDumpError (strict: no weak checkpoints)
+  kAccept,     // keep the degraded checkpoint as-is (paper baseline: the
+               // next scheduled dump re-replicates naturally)
+  kRepair,     // run core::repair_replicas to top the replicas back to K
+};
+
+class DegradedDumpError : public std::runtime_error {
+ public:
+  explicit DegradedDumpError(const core::DumpStats& stats)
+      : std::runtime_error(
+            "checkpoint degraded on rank " + std::to_string(stats.rank) +
+            ": k_achieved_min=" +
+            std::to_string(stats.k_achieved_min) + " < k_effective=" +
+            std::to_string(stats.k_effective)),
+        stats_(stats) {}
+
+  [[nodiscard]] const core::DumpStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  core::DumpStats stats_;
+};
 
 struct CheckpointConfig {
   core::DumpConfig dump;
@@ -24,6 +53,12 @@ struct CheckpointConfig {
   // checkpoint_now() for manual control).
   int interval = 0;
   int first_iteration = 0;  // first iteration eligible for the schedule
+  DegradedPolicy on_degraded = DegradedPolicy::kAbort;
+  // Degraded dumps beyond the first: re-dump under a fresh epoch up to
+  // this many extra times before applying on_degraded (useful when the
+  // outage is transient and the store recovers between attempts; 0 means
+  // the policy applies to the first degraded attempt directly).
+  int max_dump_retries = 0;
 };
 
 class CheckpointRuntime {
@@ -34,24 +69,56 @@ class CheckpointRuntime {
 
   // Collective when it fires (all ranks share the schedule, so either all
   // or none enter dump_output).  Returns the stats when a checkpoint was
-  // taken this iteration.
-  std::optional<core::DumpStats> maybe_checkpoint(int iteration) {
+  // taken this iteration.  `stores` is only needed by DegradedPolicy::
+  // kRepair (the scrub is collective over every rank's device).
+  std::optional<core::DumpStats> maybe_checkpoint(
+      int iteration, std::span<chunk::ChunkStore* const> stores = {}) {
     if (config_.interval <= 0 || iteration < config_.first_iteration ||
         (iteration - config_.first_iteration) % config_.interval != 0) {
       return std::nullopt;
     }
-    return checkpoint_now();
+    return checkpoint_now(stores);
   }
 
-  // Collective: snapshot + dump, unconditionally.
-  core::DumpStats checkpoint_now() {
-    core::DumpConfig cfg = config_.dump;
-    cfg.epoch = next_epoch_++;
-    core::Dumper dumper(comm_, store_, cfg);
-    const auto stats =
-        dumper.dump_output(arena_.snapshot(), config_.replication_factor);
+  // Collective: snapshot + dump, unconditionally.  A degraded dump (some
+  // store was down; DumpStats::degraded) is first retried under a fresh
+  // epoch up to max_dump_retries times, then handled per on_degraded:
+  // abort (throw), accept as-is, or repair the shortfall in place.  The
+  // degraded flag comes out of a collective audit, so every rank takes the
+  // same branch.
+  core::DumpStats checkpoint_now(
+      std::span<chunk::ChunkStore* const> stores = {}) {
+    core::DumpStats stats = dump_attempt();
+    for (int retry = 0; stats.degraded && retry < config_.max_dump_retries;
+         ++retry) {
+      stats = dump_attempt();
+    }
+    if (stats.degraded) {
+      switch (config_.on_degraded) {
+        case DegradedPolicy::kAbort:
+          throw DegradedDumpError(stats);
+        case DegradedPolicy::kAccept:
+          break;
+        case DegradedPolicy::kRepair:
+          if (static_cast<int>(stores.size()) != comm_.size()) {
+            throw std::logic_error(
+                "checkpoint_now: DegradedPolicy::kRepair needs the stores "
+                "span (one entry per rank)");
+          }
+          last_repair_ =
+              core::repair_replicas(comm_, stores,
+                                    config_.replication_factor);
+          break;
+      }
+    }
     history_.push_back(stats);
     return stats;
+  }
+
+  // Stats of the most recent kRepair scrub, if any ran.
+  [[nodiscard]] const std::optional<core::RepairStats>& last_repair()
+      const noexcept {
+    return last_repair_;
   }
 
   // Restart path: rebuild this rank's most recent checkpoint from the
@@ -69,12 +136,20 @@ class CheckpointRuntime {
   }
 
  private:
+  core::DumpStats dump_attempt() {
+    core::DumpConfig cfg = config_.dump;
+    cfg.epoch = next_epoch_++;
+    core::Dumper dumper(comm_, store_, cfg);
+    return dumper.dump_output(arena_.snapshot(), config_.replication_factor);
+  }
+
   simmpi::Comm& comm_;
   chunk::ChunkStore& store_;
   TrackedArena& arena_;
   CheckpointConfig config_;
   std::uint64_t next_epoch_ = 1;
   std::vector<core::DumpStats> history_;
+  std::optional<core::RepairStats> last_repair_;
 };
 
 // Deterministic failure injection for the restart tests: kills up to
@@ -88,8 +163,13 @@ class FailureInjector {
                                int count) {
     std::vector<int> victims;
     const int n = static_cast<int>(stores.size());
-    while (static_cast<int>(victims.size()) < count &&
-           static_cast<int>(victims.size()) < n) {
+    // The quota is bounded by the stores still alive, not by n: with
+    // already-failed stores in the span, an n-based bound would spin
+    // forever once every live store is exhausted.
+    int live = 0;
+    for (const auto* s : stores) live += s->failed() ? 0 : 1;
+    const int quota = count < live ? count : live;
+    while (static_cast<int>(victims.size()) < quota) {
       const int v = static_cast<int>(next() % static_cast<std::uint64_t>(n));
       if (!stores[static_cast<std::size_t>(v)]->failed()) {
         stores[static_cast<std::size_t>(v)]->fail();

@@ -22,6 +22,7 @@ enum class EventKind : std::uint8_t {
   kPut,          // instant: one-sided put (a = modeled bytes, b = target)
   kFence,        // instant: window epoch completion (a = epoch put bytes)
   kStoreCommit,  // instant: chunks committed to a device (a = bytes)
+  kFault,        // instant: injected fault fired (a = target store/rank)
 };
 
 [[nodiscard]] constexpr const char* phase_of(EventKind k) noexcept {
@@ -35,6 +36,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kPut:
     case EventKind::kFence:
     case EventKind::kStoreCommit:
+    case EventKind::kFault:
       return "i";
   }
   return "i";
@@ -53,6 +55,8 @@ enum class EventKind : std::uint8_t {
       return "window";
     case EventKind::kStoreCommit:
       return "storage";
+    case EventKind::kFault:
+      return "fault";
   }
   return "misc";
 }

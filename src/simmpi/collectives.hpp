@@ -42,6 +42,10 @@ class CollectiveScope {
  public:
   CollectiveScope(Comm& comm, obs::CollectiveKind kind, std::uint64_t rounds)
       : obs_(comm.obs()), comm_(&comm), kind_(kind) {
+    // Entry-side injection point for every collective kind; the matching
+    // exit-side point is an explicit fault_point("coll.post") in each
+    // collective body (a destructor must not throw a rank-kill).
+    comm.fault_point("coll.pre");
     if (!obs_) return;
     ++obs_->comm.collective_calls[obs::index_of(kind)];
     obs_->comm.collective_rounds[obs::index_of(kind)] += rounds;
@@ -89,6 +93,7 @@ void bcast(Comm& comm, T& value, int root = 0) {
       comm.send_value((child_v + root) % n, tags::kBcast, value);
     }
   }
+  comm.fault_point("coll.post");
 }
 
 // Reduce all ranks' values onto rank `root` using `op(accumulated,
@@ -112,6 +117,7 @@ T reduce(Comm& comm, T value, Op op, int root = 0) {
       value = op(std::move(value), std::move(incoming));
     }
   }
+  comm.fault_point("coll.post");
   return value;
 }
 
@@ -125,6 +131,7 @@ T allreduce(Comm& comm, T value, Op op) {
                                       2 * detail::tree_rounds(comm.size()));
   value = reduce(comm, std::move(value), std::move(op), 0);
   bcast(comm, value, 0);
+  comm.fault_point("coll.post");
   return value;
 }
 
@@ -138,6 +145,7 @@ std::vector<T> gather(Comm& comm, const T& value, int root = 0) {
       static_cast<std::uint64_t>(n > 0 ? n - 1 : 0));
   if (comm.rank() != root) {
     comm.send_value(root, tags::kGather, value);
+    comm.fault_point("coll.post");
     return {};
   }
   std::vector<T> out;
@@ -149,6 +157,7 @@ std::vector<T> gather(Comm& comm, const T& value, int root = 0) {
       out.push_back(comm.recv_value<T>(r, tags::kGather));
     }
   }
+  comm.fault_point("coll.post");
   return out;
 }
 
@@ -163,9 +172,12 @@ T scatter(Comm& comm, const std::vector<T>& values, int root = 0) {
     for (int r = 0; r < n; ++r) {
       if (r != root) comm.send_value(r, tags::kScatter, values[r]);
     }
+    comm.fault_point("coll.post");
     return values[static_cast<std::size_t>(root)];
   }
-  return comm.recv_value<T>(root, tags::kScatter);
+  T received = comm.recv_value<T>(root, tags::kScatter);
+  comm.fault_point("coll.post");
+  return received;
 }
 
 // Ring allgather: N-1 steps, each rank forwards the block it received in
@@ -188,6 +200,7 @@ std::vector<T> allgather(Comm& comm, const T& value) {
     const int origin = ((r - 1 - step) % n + n) % n;
     out[static_cast<std::size_t>(origin)] = current;
   }
+  comm.fault_point("coll.post");
   return out;
 }
 

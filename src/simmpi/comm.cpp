@@ -116,6 +116,7 @@ std::span<const std::uint8_t> Window::local() const {
 
 void Window::fence() {
   if (!comm_) throw std::logic_error("simmpi: fence on invalid window");
+  comm_->fault_point("win.fence");
   auto& ws = comm_->state_->window(id_);
   const auto& cl = comm_->cluster();
   const double release = comm_->state_->sync(

@@ -47,6 +47,16 @@ class Comm {
   // Charge local compute time to this rank.
   void charge(double seconds) noexcept { clock_.advance(seconds); }
 
+  // Consult the attached fault schedule (RuntimeOptions::faults) at a
+  // named injection point; no-op without one.  The hook may fail this
+  // rank's store in place or throw to kill the rank.
+  void fault_point(const char* point,
+                   std::uint64_t epoch = FaultHook::kAnyEpoch) {
+    if (auto* f = state_->faults()) {
+      f->at_point(rank_, point, epoch, clock_.now());
+    }
+  }
+
   // -- point to point -------------------------------------------------------
   void send_bytes(int dst, int tag, std::span<const std::uint8_t> data);
   [[nodiscard]] std::vector<std::uint8_t> recv_bytes(int src, int tag);

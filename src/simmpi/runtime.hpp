@@ -38,6 +38,27 @@ class AbortedError : public std::runtime_error {
   AbortedError() : std::runtime_error("simmpi: run aborted by peer failure") {}
 };
 
+// Fault-injection attachment point (see src/fault for the concrete
+// schedule).  The runtime and the dump pipeline consult the hook at named
+// injection points — before/after collectives, at window fences, at store
+// commits — always on the consulting rank's own thread, so an
+// implementation may fail that rank's store in place or throw to kill the
+// rank itself (the run then aborts and Runtime::run() rethrows).
+class FaultHook {
+ public:
+  // Passed as `epoch` by sites that have no checkpoint-epoch context
+  // (collectives, fences); schedules match such visits only with
+  // epoch-wildcard events.
+  static constexpr std::uint64_t kAnyEpoch = ~0ull;
+
+  virtual ~FaultHook() = default;
+  // `point` has static storage duration ("coll.pre", "win.fence",
+  // "dump.exchange.mid", ...); `sim_now` is the consulting rank's
+  // simulated clock.  Called concurrently by all rank threads.
+  virtual void at_point(int rank, const char* point, std::uint64_t epoch,
+                        double sim_now) = 0;
+};
+
 struct RuntimeOptions {
   sim::ClusterConfig cluster = sim::ClusterConfig::shamrock();
   // Optional observability attachment (src/obs).  nullptr (the default)
@@ -45,6 +66,10 @@ struct RuntimeOptions {
   // branch per site.  The Telemetry object must outlive the Runtime::run()
   // calls it observes and may span several of them.
   obs::Telemetry* telemetry = nullptr;
+  // Optional fault-injection attachment (src/fault).  nullptr (the
+  // default) disables every injection point at the cost of one untaken
+  // branch.  Must outlive the runs it observes.
+  FaultHook* faults = nullptr;
 };
 
 namespace detail {
@@ -123,6 +148,8 @@ class RunState {
   [[nodiscard]] obs::Telemetry* telemetry() const noexcept {
     return opts_.telemetry;
   }
+
+  [[nodiscard]] FaultHook* faults() const noexcept { return opts_.faults; }
 
   // Clock-aligning rendezvous: every rank contributes its clock; the last
   // arriving rank maps the maximum through `on_release` (may be null for a

@@ -83,6 +83,68 @@ TEST(RestoreInput, DegradedRestartCostsMoreSimulatedTime) {
   EXPECT_GT(timed_restore(true), timed_restore(false));
 }
 
+// Private data over the identity ring: rank 0's manifest and chunks live
+// on stores {0, 1, 2} exactly, which lets the tests below dial in which
+// loss error a failure pattern must produce.
+test::DumpRun private_identity_run(int nranks) {
+  core::DumpConfig c = cfg();
+  c.rank_shuffle = false;
+  return test::run_dump(nranks, 3, c, [](int rank) {
+    std::vector<std::uint8_t> data(8 * kPage);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 31 + 1009 * (rank + 1));
+    }
+    return data;
+  });
+}
+
+TEST(RestoreErrors, AllReplicaHoldersDownMeansManifestLost) {
+  constexpr int kRanks = 6;
+  auto run = private_identity_run(kRanks);
+  auto ptrs = test::store_ptrs(run);
+  for (int v : {0, 1, 2}) run.stores[static_cast<std::size_t>(v)].fail();
+
+  // Rank 0's manifest replicas all died with its chunk replicas: the
+  // restore cannot even learn what it is missing.
+  EXPECT_THROW((void)core::restore_rank(ptrs, 0), core::ManifestLostError);
+  // Ranks 1 and 2 lost stores but their third partner survived.
+  for (int r : {1, 2, 3, 4, 5}) {
+    const auto result = core::restore_rank(ptrs, r);
+    EXPECT_EQ(result.segments[0],
+              run.datasets[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(RestoreErrors, SurvivingManifestWithoutChunksMeansChunkLost) {
+  constexpr int kRanks = 6;
+  auto run = private_identity_run(kRanks);
+  auto ptrs = test::store_ptrs(run);
+  // Stash an extra manifest replica outside the partner ring, then kill
+  // the ring: the restore knows exactly what it needs and finds none of it.
+  const auto* manifest0 = run.stores[1].manifest_for(0);
+  ASSERT_NE(manifest0, nullptr);
+  run.stores[5].put_manifest(*manifest0);
+  for (int v : {0, 1, 2}) run.stores[static_cast<std::size_t>(v)].fail();
+
+  EXPECT_THROW((void)core::restore_rank(ptrs, 0), core::ChunkLostError);
+}
+
+TEST(RestoreErrors, PartialFailurePropagatesCollectivelyWithoutDeadlock) {
+  constexpr int kRanks = 6;
+  auto run = private_identity_run(kRanks);
+  auto ptrs = test::store_ptrs(run);
+  // Only rank 0's restore is doomed; the other five would succeed and sit
+  // in the collective until the abort reaches them.  The run must end with
+  // the originating exception, not hang or surface AbortedError.
+  for (int v : {0, 1, 2}) run.stores[static_cast<std::size_t>(v)].fail();
+
+  simmpi::Runtime rt(kRanks);
+  EXPECT_THROW(rt.run([&](simmpi::Comm& comm) {
+    (void)core::restore_input(comm, ptrs);
+  }),
+               core::ManifestLostError);
+}
+
 TEST(RestoreInput, LossPropagatesAsException) {
   constexpr int kRanks = 4;
   auto run = test::run_dump(kRanks, 2, cfg(), [](int rank) {
