@@ -156,7 +156,7 @@ inline void print_exec_increase(App app, const char* figure,
     cfgs.push_back({core::Strategy::kLocalDedup, k});
     cfgs.push_back({core::Strategy::kCollDedup, k});
   }
-  const auto out = run_matrix(app, n, app == App::kHpccg ? 8 : 8, cfgs);
+  const auto out = run_matrix(app, n, 8, cfgs);
 
   std::printf("%4s %16s %16s %16s   (simulated seconds, %d procs)\n", "K",
               "no-dedup", "local-dedup", "coll-dedup", n);

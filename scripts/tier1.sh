@@ -1,31 +1,35 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, and run the full test suite — what CI and
-# the PR driver run.  Optionally follow with a sanitizer build of the
-# runtime-heavy tests:
+# Tier-1 gate: configure, build (warnings as errors), and run the full test
+# suite — what CI and the PR driver run.  Optionally follow with a sanitizer
+# build of the runtime-heavy tests (everything ctest labels `runtime`; the
+# list lives in tests/CMakeLists.txt so it cannot go stale here):
 #
 #   scripts/tier1.sh                       # plain tier-1
-#   COLLREP_SANITIZE=address scripts/tier1.sh
-#   COLLREP_SANITIZE=undefined scripts/tier1.sh
+#   COLLREP_SANITIZE=address scripts/tier1.sh    # + ASan pass
+#   COLLREP_SANITIZE=undefined scripts/tier1.sh  # + UBSan pass
+#   COLLREP_SANITIZE=thread scripts/tier1.sh     # + TSan pass
+#
+# The thread mode is the one that audits the simmpi threading model itself
+# (ranks are threads): it must run clean over the `runtime` label, including
+# the src/check verification layer's own watchdog/cross-check threads.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
-cmake -B build -S .
+cmake -B build -S . -DCOLLREP_WERROR=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ -n "${COLLREP_SANITIZE:-}" ]]; then
   san_dir="build-${COLLREP_SANITIZE}"
   echo "== sanitizer pass (${COLLREP_SANITIZE}) =="
-  cmake -B "$san_dir" -S . -DCOLLREP_SANITIZE="${COLLREP_SANITIZE}"
-  # The threaded-runtime tests are where a sanitizer earns its keep.
-  cmake --build "$san_dir" -j --target \
-    simmpi_test obs_test collectives_test window_test stress_test fault_test
-  for t in simmpi_test obs_test collectives_test window_test stress_test \
-           fault_test; do
-    "$san_dir/tests/$t"
-  done
+  cmake -B "$san_dir" -S . -DCOLLREP_SANITIZE="${COLLREP_SANITIZE}" \
+        -DCOLLREP_WERROR=ON
+  cmake --build "$san_dir" -j
+  # The threaded-runtime tests are where a sanitizer earns its keep; the
+  # `runtime` ctest label selects them.
+  (cd "$san_dir" && ctest -L runtime --output-on-failure -j)
 fi
 
 echo "tier1: OK"

@@ -20,7 +20,7 @@ constexpr std::size_t kRecordHeaderBytes =
 constexpr int kManifestTagBase = 6 << 20;
 
 struct PhaseClock {
-  PhaseClock(simmpi::Comm& comm, const char* first_phase) : comm(comm) {
+  PhaseClock(simmpi::Comm& c, const char* first_phase) : comm(c) {
     comm.barrier();
     mark = comm.clock().now();
     start = mark;
@@ -282,7 +282,9 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
   // which is exactly the mid-exchange store loss the degraded path must
   // survive (the victim's outgoing replicas land, its incoming ones drop).
   comm_.fault_point("dump.exchange.mid", config_.epoch);
-  win.fence();
+  // No RMA follows the exchange epoch; declaring it lets an attached
+  // checker flag any stray put between here and the window free.
+  win.fence(simmpi::kFenceNoSucceed);
 
   // Parse the received records and stage them for local commit.  A dead
   // store drops its incoming replicas on the floor (counted, not thrown):

@@ -278,7 +278,8 @@ RepairStats repair_replicas(simmpi::Comm& comm,
     stats.sent_bytes += s.length;
   }
   comm.fault_point("repair.exchange.mid");
-  win.fence();
+  // Final epoch of the repair window: no RMA follows.
+  win.fence(simmpi::kFenceNoSucceed);
 
   const auto region = win.local();
   for (const RepairSend& s : plan) {

@@ -76,8 +76,9 @@ std::vector<std::vector<std::uint8_t>> ReedSolomon::reconstruct_data(
     }
   }
 
-  // Fast path: all data shards alive.
-  if (chosen.back() < m_) {
+  // Fast path: all data shards alive.  (The empty() check is redundant with
+  // the size test above but lets GCC prove back() never derefs null.)
+  if (!chosen.empty() && chosen.back() < m_) {
     std::vector<std::vector<std::uint8_t>> out;
     out.reserve(static_cast<std::size_t>(m_));
     for (int i = 0; i < m_; ++i) {

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <functional>
+#include <source_location>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -35,13 +37,33 @@ namespace detail {
   return rounds;
 }
 
-// RAII telemetry wrapper for one collective invocation: bumps the per-kind
-// call/round counters on entry and brackets the body with trace events.
-// A no-op (single null check) when the run has no telemetry attached.
+// Fingerprint of a typed collective entry: the first six CollOp values
+// mirror obs::CollectiveKind by index, the payload type contributes its
+// typeid hash (identical across rank threads of one process).  Reductions
+// mix in the operator's typeid as well — closure types are unique per
+// source location, so ranks disagreeing on the reduction op diverge here
+// even when the payload type matches.
+template <class T>
+[[nodiscard]] CollFingerprint fingerprint(obs::CollectiveKind kind, int root,
+                                          std::uint64_t op_hash = 0) noexcept {
+  return CollFingerprint{
+      .op = static_cast<CollOp>(obs::index_of(kind)),
+      .root = root,
+      .type_hash = typeid(T).hash_code() ^ (op_hash * 0x9e3779b97f4a7c15ull)};
+}
+
+// RAII verification + telemetry wrapper for one collective invocation:
+// cross-checks the entry fingerprint against the other ranks (may throw
+// check::ViolationError on a divergent rank before the collective can
+// deadlock), bumps the per-kind call/round counters, and brackets the
+// body with trace events.  Two null checks when neither a checker nor
+// telemetry is attached.
 class CollectiveScope {
  public:
-  CollectiveScope(Comm& comm, obs::CollectiveKind kind, std::uint64_t rounds)
+  CollectiveScope(Comm& comm, obs::CollectiveKind kind, std::uint64_t rounds,
+                  const CollFingerprint& fp, const std::source_location& loc)
       : obs_(comm.obs()), comm_(&comm), kind_(kind) {
+    comm.check_collective(fp, loc);
     // Entry-side injection point for every collective kind; the matching
     // exit-side point is an explicit fault_point("coll.post") in each
     // collective body (a destructor must not throw a rank-kill).
@@ -53,6 +75,7 @@ class CollectiveScope {
                 obs::to_string(kind), rounds);
   }
   ~CollectiveScope() {
+    comm_->check_collective_done();
     if (!obs_) return;
     obs_->event(obs::EventKind::kCollectiveEnd, comm_->clock().now(),
                 obs::to_string(kind_));
@@ -71,10 +94,12 @@ class CollectiveScope {
 
 // Broadcast `value` from `root` to all ranks (binomial tree).
 template <class T>
-void bcast(Comm& comm, T& value, int root = 0) {
+void bcast(Comm& comm, T& value, int root = 0,
+           std::source_location loc = std::source_location::current()) {
   const int n = comm.size();
-  const detail::CollectiveScope scope(comm, obs::CollectiveKind::kBcast,
-                                      detail::tree_rounds(n));
+  const detail::CollectiveScope scope(
+      comm, obs::CollectiveKind::kBcast, detail::tree_rounds(n),
+      detail::fingerprint<T>(obs::CollectiveKind::kBcast, root), loc);
   if (n == 1) return;
   const int vrank = (comm.rank() - root + n) % n;
 
@@ -100,10 +125,14 @@ void bcast(Comm& comm, T& value, int root = 0) {
 // incoming)`; `op` must be associative (binomial combination order).
 // Non-root ranks return their partial accumulation.
 template <class T, class Op>
-T reduce(Comm& comm, T value, Op op, int root = 0) {
+T reduce(Comm& comm, T value, Op op, int root = 0,
+         std::source_location loc = std::source_location::current()) {
   const int n = comm.size();
-  const detail::CollectiveScope scope(comm, obs::CollectiveKind::kReduce,
-                                      detail::tree_rounds(n));
+  const detail::CollectiveScope scope(
+      comm, obs::CollectiveKind::kReduce, detail::tree_rounds(n),
+      detail::fingerprint<T>(obs::CollectiveKind::kReduce, root,
+                             typeid(Op).hash_code()),
+      loc);
   const int vrank = (comm.rank() - root + n) % n;
   for (int mask = 1; mask < n; mask <<= 1) {
     if ((vrank & mask) != 0) {
@@ -124,11 +153,16 @@ T reduce(Comm& comm, T value, Op op, int root = 0) {
 // Allreduce = binomial reduce to rank 0 + binomial broadcast, mirroring the
 // paper's ALLREDUCE(HMERGE, LHashes) step.
 template <class T, class Op>
-T allreduce(Comm& comm, T value, Op op) {
+T allreduce(Comm& comm, T value, Op op,
+            std::source_location loc = std::source_location::current()) {
   // Rounds = reduce + bcast halves; the nested calls also count themselves
   // under their own kinds.
-  const detail::CollectiveScope scope(comm, obs::CollectiveKind::kAllreduce,
-                                      2 * detail::tree_rounds(comm.size()));
+  const detail::CollectiveScope scope(
+      comm, obs::CollectiveKind::kAllreduce,
+      2 * detail::tree_rounds(comm.size()),
+      detail::fingerprint<T>(obs::CollectiveKind::kAllreduce, -1,
+                             typeid(Op).hash_code()),
+      loc);
   value = reduce(comm, std::move(value), std::move(op), 0);
   bcast(comm, value, 0);
   comm.fault_point("coll.post");
@@ -138,11 +172,14 @@ T allreduce(Comm& comm, T value, Op op) {
 // Gather every rank's value at `root` (index == source rank).  Non-root
 // ranks receive an empty vector.
 template <class T>
-std::vector<T> gather(Comm& comm, const T& value, int root = 0) {
+std::vector<T> gather(Comm& comm, const T& value, int root = 0,
+                      std::source_location loc =
+                          std::source_location::current()) {
   const int n = comm.size();
   const detail::CollectiveScope scope(
       comm, obs::CollectiveKind::kGather,
-      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0));
+      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0),
+      detail::fingerprint<T>(obs::CollectiveKind::kGather, root), loc);
   if (comm.rank() != root) {
     comm.send_value(root, tags::kGather, value);
     comm.fault_point("coll.post");
@@ -163,11 +200,13 @@ std::vector<T> gather(Comm& comm, const T& value, int root = 0) {
 
 // Scatter `values` (root-only, size == nranks) so each rank gets its slot.
 template <class T>
-T scatter(Comm& comm, const std::vector<T>& values, int root = 0) {
+T scatter(Comm& comm, const std::vector<T>& values, int root = 0,
+          std::source_location loc = std::source_location::current()) {
   const int n = comm.size();
   const detail::CollectiveScope scope(
       comm, obs::CollectiveKind::kScatter,
-      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0));
+      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0),
+      detail::fingerprint<T>(obs::CollectiveKind::kScatter, root), loc);
   if (comm.rank() == root) {
     for (int r = 0; r < n; ++r) {
       if (r != root) comm.send_value(r, tags::kScatter, values[r]);
@@ -183,11 +222,14 @@ T scatter(Comm& comm, const std::vector<T>& values, int root = 0) {
 // Ring allgather: N-1 steps, each rank forwards the block it received in
 // the previous step.  Returns the vector of all ranks' values by rank.
 template <class T>
-std::vector<T> allgather(Comm& comm, const T& value) {
+std::vector<T> allgather(Comm& comm, const T& value,
+                         std::source_location loc =
+                             std::source_location::current()) {
   const int n = comm.size();
   const detail::CollectiveScope scope(
       comm, obs::CollectiveKind::kAllgather,
-      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0));
+      static_cast<std::uint64_t>(n > 0 ? n - 1 : 0),
+      detail::fingerprint<T>(obs::CollectiveKind::kAllgather, -1), loc);
   const int r = comm.rank();
   std::vector<T> out(static_cast<std::size_t>(n));
   out[static_cast<std::size_t>(r)] = value;
@@ -206,13 +248,15 @@ std::vector<T> allgather(Comm& comm, const T& value) {
 
 // Convenience numeric reductions.
 template <class T>
-T allreduce_sum(Comm& comm, T value) {
-  return allreduce(comm, value, [](T a, T b) { return a + b; });
+T allreduce_sum(Comm& comm, T value,
+                std::source_location loc = std::source_location::current()) {
+  return allreduce(comm, value, [](T a, T b) { return a + b; }, loc);
 }
 
 template <class T>
-T allreduce_max(Comm& comm, T value) {
-  return allreduce(comm, value, [](T a, T b) { return a > b ? a : b; });
+T allreduce_max(Comm& comm, T value,
+                std::source_location loc = std::source_location::current()) {
+  return allreduce(comm, value, [](T a, T b) { return a > b ? a : b; }, loc);
 }
 
 }  // namespace simmpi

@@ -11,6 +11,9 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::uint8_t> data) {
   if (dst < 0 || dst >= size()) {
     throw std::out_of_range("simmpi: send to invalid rank");
   }
+  // Before the mailbox push, so the checker observes a message's send
+  // strictly before its receive.
+  if (check_) check_->on_send(rank_, dst, tag, data.size());
   const auto& cl = cluster();
   if (obs_) {
     auto& cs = obs_->comm;
@@ -35,6 +38,7 @@ std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag) {
     throw std::out_of_range("simmpi: recv from invalid rank");
   }
   auto msg = state_->mailbox(rank_).pop(src, tag, state_->aborted());
+  if (check_) check_->on_recv(rank_, src, tag, msg.payload.size());
   if (obs_) {
     ++obs_->comm.recv_messages;
     obs_->comm.recv_bytes += msg.payload.size();
@@ -45,27 +49,36 @@ std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag) {
   return std::move(msg.payload);
 }
 
-void Comm::barrier() {
+void Comm::barrier(std::source_location loc) {
+  check_collective(CollFingerprint{.op = CollOp::kBarrier}, loc);
   if (obs_) ++obs_->comm.barriers;
   clock_.at_least(state_->sync(clock_.now()));
+  check_collective_done();
 }
 
-Window Comm::win_create(std::size_t local_bytes) {
-  if (obs_) ++obs_->comm.windows_created;
+Window Comm::win_create(std::size_t local_bytes, std::source_location loc) {
   const int id = next_win_id_++;
+  check_collective(CollFingerprint{.op = CollOp::kWinCreate, .root = id}, loc);
+  if (check_) check_->on_win_create(rank_, id, local_bytes);
+  if (obs_) ++obs_->comm.windows_created;
   state_->window_register(rank_, id, local_bytes);
   barrier();  // all regions allocated before any put
+  check_collective_done();
   return Window(*this, id);
 }
 
 void Window::put(int target, std::size_t offset,
                  std::span<const std::uint8_t> data,
-                 std::uint64_t modeled_bytes) {
+                 std::uint64_t modeled_bytes, std::source_location loc) {
   if (!comm_) throw std::logic_error("simmpi: put on invalid window");
   if (modeled_bytes == 0) modeled_bytes = data.size();
   auto& ws = comm_->state_->window(id_);
   if (target < 0 || target >= comm_->size()) {
     throw std::out_of_range("simmpi: put to invalid rank");
+  }
+  if (auto* ck = comm_->check_) {
+    ck->on_put(comm_->rank_, id_, target, offset, data.size(),
+               CallSite::from(loc));
   }
   {
     std::scoped_lock lk(ws.locks[static_cast<std::size_t>(target)]);
@@ -114,8 +127,11 @@ std::span<const std::uint8_t> Window::local() const {
   return ws.buffers[static_cast<std::size_t>(comm_->rank())];
 }
 
-void Window::fence() {
+void Window::fence(unsigned flags, std::source_location loc) {
   if (!comm_) throw std::logic_error("simmpi: fence on invalid window");
+  comm_->check_collective(
+      CollFingerprint{.op = CollOp::kWinFence, .root = id_, .flags = flags},
+      loc);
   comm_->fault_point("win.fence");
   auto& ws = comm_->state_->window(id_);
   const auto& cl = comm_->cluster();
@@ -157,6 +173,8 @@ void Window::fence() {
              comm_->epoch_bytes_put_, comm_->epoch_bytes_recv_);
   }
   comm_->epoch_bytes_put_ = 0;
+  if (auto* ck = comm_->check_) ck->on_fence(comm_->rank_, id_, flags);
+  comm_->check_collective_done();
 }
 
 void Window::release() {
@@ -165,6 +183,7 @@ void Window::release() {
     if (!comm_->state_->aborted().load()) {
       comm_->barrier();  // MPI_Win_free is collective
     }
+    if (auto* ck = comm_->check_) ck->on_win_free(comm_->rank_, id_);
     comm_->state_->window_free(id_);
   } catch (...) {
     // Release runs from destructors during unwinding; never propagate.

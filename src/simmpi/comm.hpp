@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <source_location>
 #include <span>
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "simmpi/check_hook.hpp"
 #include "simmpi/archive.hpp"
 #include "simmpi/runtime.hpp"
 #include "simtime/cluster.hpp"
@@ -24,7 +26,8 @@ class Comm {
   Comm(RunState& state, int rank)
       : state_(&state),
         rank_(rank),
-        obs_(state.telemetry() ? &state.telemetry()->rank(rank) : nullptr) {}
+        obs_(state.telemetry() ? &state.telemetry()->rank(rank) : nullptr),
+        check_(state.checker()) {}
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -57,6 +60,18 @@ class Comm {
     }
   }
 
+  // Runtime-verification hooks (RuntimeOptions::checker); each is a
+  // single untaken branch when no checker is attached.  check_collective
+  // may throw on this rank when the checker decides the fingerprint
+  // diverges from its peers'.
+  void check_collective(const CollFingerprint& fp,
+                        const std::source_location& loc) {
+    if (check_) check_->on_collective(rank_, fp, CallSite::from(loc));
+  }
+  void check_collective_done() noexcept {
+    if (check_) check_->on_collective_done(rank_);
+  }
+
   // -- point to point -------------------------------------------------------
   void send_bytes(int dst, int tag, std::span<const std::uint8_t> data);
   [[nodiscard]] std::vector<std::uint8_t> recv_bytes(int src, int tag);
@@ -76,11 +91,14 @@ class Comm {
   }
 
   // -- synchronization ------------------------------------------------------
-  void barrier();
+  void barrier(std::source_location loc = std::source_location::current());
 
   // -- one-sided windows ----------------------------------------------------
   // Collective: every rank exposes `local_bytes` of zero-initialized memory.
-  [[nodiscard]] Window win_create(std::size_t local_bytes);
+  // Opens the window's first access epoch (see Window::fence).
+  [[nodiscard]] Window win_create(
+      std::size_t local_bytes,
+      std::source_location loc = std::source_location::current());
 
   // Modeled bytes this rank has put through windows in the epoch that is
   // currently open (for DumpStats); reset to 0 by every fence.
@@ -102,6 +120,7 @@ class Comm {
   RunState* state_;
   int rank_;
   obs::RankTelemetry* obs_ = nullptr;
+  CheckHook* check_ = nullptr;
   sim::SimClock clock_;
   std::uint64_t epoch_bytes_put_ = 0;
   std::uint64_t epoch_bytes_recv_ = 0;
@@ -130,12 +149,14 @@ class Window {
   [[nodiscard]] bool valid() const noexcept { return comm_ != nullptr; }
 
   // One-sided put of `data` into `target`'s region at byte `offset`.
-  // Callers are responsible for disjoint offsets (guaranteed by CALC_OFF).
+  // Callers are responsible for disjoint offsets (guaranteed by CALC_OFF;
+  // an attached checker flags overlapping ranges from different ranks).
   // `modeled_bytes` overrides the wire size charged to the cost model —
   // metadata-only exchanges copy small records but must still pay for the
   // payload bytes they stand in for.  0 means "use data.size()".
   void put(int target, std::size_t offset, std::span<const std::uint8_t> data,
-           std::uint64_t modeled_bytes = 0);
+           std::uint64_t modeled_bytes = 0,
+           std::source_location loc = std::source_location::current());
 
   // This rank's exposed region.
   [[nodiscard]] std::span<std::uint8_t> local();
@@ -143,8 +164,12 @@ class Window {
 
   // Collective: completes the access epoch.  All puts issued before the
   // fence are visible in target regions after it; simulated clocks advance
-  // by the bulk-transfer time of the epoch (max over node NICs).
-  void fence();
+  // by the bulk-transfer time of the epoch (max over node NICs).  By
+  // default the next access epoch opens immediately; kFenceNoSucceed
+  // (the MPI_MODE_NOSUCCEED analogue) declares that no RMA follows, so an
+  // attached checker flags any later put as an epoch violation.
+  void fence(unsigned flags = 0,
+             std::source_location loc = std::source_location::current());
 
   // Collective: releases the window on all ranks.
   void free() { release(); }

@@ -123,6 +123,13 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
   std::mutex err_mu;
   std::exception_ptr first_error;
 
+  if (opts_.checker) {
+    // The abort callback references `state`, which outlives the checker's
+    // use of it: run_end() below stops the checker's watchdog before this
+    // frame returns.
+    opts_.checker->run_begin(nranks_, [&state] { state.abort(); });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
@@ -143,6 +150,13 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  if (opts_.checker) {
+    // The checker may hold the reason the run must fail even though no
+    // rank thread threw a primary error (stuck-rank reports abort the run
+    // from the watchdog; message leaks only show up once all ranks exit).
+    auto checker_error = opts_.checker->run_end(state.aborted().load());
+    if (checker_error && !first_error) first_error = checker_error;
+  }
   if (opts_.telemetry) opts_.telemetry->end_run();
 
   if (first_error) std::rethrow_exception(first_error);

@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "simmpi/check_hook.hpp"
 #include "simtime/cluster.hpp"
 
 namespace collrep::obs {
@@ -70,6 +71,10 @@ struct RuntimeOptions {
   // default) disables every injection point at the cost of one untaken
   // branch.  Must outlive the runs it observes.
   FaultHook* faults = nullptr;
+  // Optional runtime-verification attachment (src/check).  nullptr (the
+  // default) disables every verification site at the cost of one untaken
+  // branch.  Must outlive the runs it observes.
+  CheckHook* checker = nullptr;
 };
 
 namespace detail {
@@ -150,6 +155,8 @@ class RunState {
   }
 
   [[nodiscard]] FaultHook* faults() const noexcept { return opts_.faults; }
+
+  [[nodiscard]] CheckHook* checker() const noexcept { return opts_.checker; }
 
   // Clock-aligning rendezvous: every rank contributes its clock; the last
   // arriving rank maps the maximum through `on_release` (may be null for a

@@ -205,9 +205,10 @@ TEST(ChunkStore, ManifestNewestEpochWins) {
 
   store.put_manifest(new_m);
   store.put_manifest(old_m);  // stale write must not regress
-  ASSERT_NE(store.manifest_for(3), nullptr);
-  EXPECT_EQ(store.manifest_for(3)->epoch, 2u);
-  EXPECT_EQ(store.manifest_for(3)->segment_sizes[0], 200u);
+  const chunk::Manifest* kept = store.manifest_for(3);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->epoch, 2u);
+  EXPECT_EQ(kept->segment_sizes[0], 200u);
 }
 
 TEST(ChunkStore, ManifestsPerOwnerAreIndependent) {
@@ -219,8 +220,12 @@ TEST(ChunkStore, ManifestsPerOwnerAreIndependent) {
   b.epoch = 5;
   store.put_manifest(a);
   store.put_manifest(b);
-  EXPECT_EQ(store.manifest_for(1)->epoch, 0u);
-  EXPECT_EQ(store.manifest_for(2)->epoch, 5u);
+  const chunk::Manifest* ma = store.manifest_for(1);
+  const chunk::Manifest* mb = store.manifest_for(2);
+  ASSERT_NE(ma, nullptr);
+  ASSERT_NE(mb, nullptr);
+  EXPECT_EQ(ma->epoch, 0u);
+  EXPECT_EQ(mb->epoch, 5u);
   EXPECT_EQ(store.manifest_for(7), nullptr);
 }
 

@@ -99,10 +99,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Strategy::kNoDedup,
                                          Strategy::kLocalDedup,
                                          Strategy::kCollDedup)),
-    [](const testing::TestParamInfo<SweepParam>& info) {
-      const int n = std::get<0>(info.param);
-      const int k = std::get<1>(info.param);
-      const Strategy s = std::get<2>(info.param);
+    [](const testing::TestParamInfo<SweepParam>& pinfo) {
+      const int n = std::get<0>(pinfo.param);
+      const int k = std::get<1>(pinfo.param);
+      const Strategy s = std::get<2>(pinfo.param);
       const char* name = s == Strategy::kNoDedup      ? "full"
                          : s == Strategy::kLocalDedup ? "local"
                                                       : "coll";

@@ -186,10 +186,16 @@ INSTANTIATE_TEST_SUITE_P(
                       EcSweepParam{3, 2, 9}, EcSweepParam{4, 2, 12},
                       EcSweepParam{4, 3, 11}, EcSweepParam{5, 2, 10},
                       EcSweepParam{2, 2, 8}),
-    [](const testing::TestParamInfo<EcSweepParam>& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_r" +
-             std::to_string(std::get<1>(info.param)) + "_n" +
-             std::to_string(std::get<2>(info.param));
+    [](const testing::TestParamInfo<EcSweepParam>& pinfo) {
+      // Append-style to dodge the GCC 12 -Wrestrict false positive on
+      // chained string operator+ (GCC PR105651).
+      std::string name = "m";
+      name += std::to_string(std::get<0>(pinfo.param));
+      name += "_r";
+      name += std::to_string(std::get<1>(pinfo.param));
+      name += "_n";
+      name += std::to_string(std::get<2>(pinfo.param));
+      return name;
     });
 
 }  // namespace
