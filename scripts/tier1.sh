@@ -28,8 +28,9 @@ if [[ -n "${COLLREP_SANITIZE:-}" ]]; then
         -DCOLLREP_WERROR=ON
   cmake --build "$san_dir" -j
   # The threaded-runtime tests are where a sanitizer earns its keep; the
-  # `runtime` ctest label selects them.
-  (cd "$san_dir" && ctest -L runtime --output-on-failure -j)
+  # `kernels` label rides along so every dispatched SIMD path gets an
+  # ASan/TSan pass too.
+  (cd "$san_dir" && ctest -L 'runtime|kernels' --output-on-failure -j)
 fi
 
 echo "tier1: OK"

@@ -1,6 +1,7 @@
 #include "chunk/cdc.hpp"
 
 #include <array>
+#include <bit>
 #include <stdexcept>
 
 namespace collrep::chunk {
@@ -18,6 +19,116 @@ std::array<std::uint64_t, 256> make_gear_table(std::uint64_t seed) {
     entry = z ^ (z >> 31);
   }
   return table;
+}
+
+// Reference rolling loop: every byte from the chunk start feeds the gear
+// hash, boundary test from min_bytes on.  Kept verbatim as the oracle the
+// skip-ahead path is differentially tested against.
+void chunk_segment_reference(std::span<const std::uint8_t> segment,
+                             std::uint32_t seg_index, const CdcParams& params,
+                             std::uint64_t mask,
+                             const std::array<std::uint64_t, 256>& gear,
+                             std::vector<ChunkRef>& refs) {
+  std::uint64_t start = 0;
+  std::uint64_t hash = 0;
+  for (std::uint64_t i = 0; i < segment.size(); ++i) {
+    hash = (hash << 1) + gear[segment[i]];
+    const std::uint64_t len = i - start + 1;
+    const bool at_boundary = len >= params.min_bytes && (hash & mask) == mask;
+    if (at_boundary || len == params.max_bytes) {
+      refs.push_back(
+          ChunkRef{seg_index, start, static_cast<std::uint32_t>(len)});
+      start = i + 1;
+      hash = 0;
+    }
+  }
+  if (start < segment.size()) {
+    refs.push_back(ChunkRef{seg_index, start,
+                            static_cast<std::uint32_t>(segment.size() - start)});
+  }
+}
+
+// Skip-ahead loop, cut-point-identical to the reference.  Why skipping is
+// sound: the boundary test looks only at the low W = log2(avg_bytes) bits
+// of the gear hash, and in h = (h << 1) + g the carries propagate upward
+// only — so (hash & mask) after k >= W updates depends on just the last W
+// bytes.  After a cut the first possible boundary is at len == min_bytes;
+// resuming the hash W bytes before that position reproduces the exact
+// masked value the reference computes there, while never touching the
+// first min_bytes - W bytes of the chunk.  The inner loop is 2-lane
+// interleaved: both gear loads issue together and the two-step update
+// h2 = (h << 2) + ((g0 << 1) + g1) keeps the serial dependency at one
+// shift+add per byte pair.
+void chunk_segment_skip(std::span<const std::uint8_t> segment,
+                        std::uint32_t seg_index, const CdcParams& params,
+                        std::uint64_t mask,
+                        const std::array<std::uint64_t, 256>& gear,
+                        std::vector<ChunkRef>& refs) {
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(std::countr_one(mask));  // W = log2(avg)
+  // Resume so that >= W bytes are rolled before the first boundary test at
+  // len == min_bytes (the test itself rolls the byte at that position).
+  const std::uint64_t warm_skip =
+      params.min_bytes >= window + 1 ? params.min_bytes - 1 - window : 0;
+  const std::uint8_t* p = segment.data();
+  const std::uint64_t size = segment.size();
+
+  std::uint64_t start = 0;
+  while (start < size) {
+    const std::uint64_t remaining = size - start;
+    if (remaining < params.min_bytes) {
+      // Tail shorter than any possible boundary: one final chunk.  (A
+      // max_bytes cut is impossible because max >= min > remaining.)
+      refs.push_back(
+          ChunkRef{seg_index, start, static_cast<std::uint32_t>(remaining)});
+      return;
+    }
+    const std::uint64_t first_check = start + params.min_bytes - 1;
+    const std::uint64_t force = start + params.max_bytes - 1;  // may be >= size
+    std::uint64_t i = start + warm_skip;
+    std::uint64_t hash = 0;
+
+    // Warm the last W bytes below the first checkable position.
+    for (; i < first_check && i < size; ++i) {
+      hash = (hash << 1) + gear[p[i]];
+    }
+
+    std::uint64_t cut = 0;  // exclusive end of the chunk, 0 = not found
+    // 2-lane interleaved boundary scan.
+    for (; cut == 0 && i + 1 < size && i + 1 <= force;) {
+      const std::uint64_t g0 = gear[p[i]];
+      const std::uint64_t g1 = gear[p[i + 1]];
+      const std::uint64_t h1 = (hash << 1) + g0;
+      if ((h1 & mask) == mask) {  // i < force here, no forced-cut test needed
+        cut = i + 1;
+        break;
+      }
+      hash = (h1 << 1) + g1;  // == (hash << 2) + ((g0 << 1) + g1)
+      if ((hash & mask) == mask || i + 1 == force) {
+        cut = i + 2;
+        break;
+      }
+      i += 2;
+    }
+    // Odd remainder / segment tail.
+    for (; cut == 0 && i < size && i <= force; ++i) {
+      hash = (hash << 1) + gear[p[i]];
+      if ((hash & mask) == mask || i == force) {
+        cut = i + 1;
+        break;
+      }
+    }
+
+    if (cut == 0) {
+      // Ran off the segment without a boundary: final short-tail chunk.
+      refs.push_back(
+          ChunkRef{seg_index, start, static_cast<std::uint32_t>(size - start)});
+      return;
+    }
+    refs.push_back(
+        ChunkRef{seg_index, start, static_cast<std::uint32_t>(cut - start)});
+    start = cut;
+  }
 }
 
 }  // namespace
@@ -38,24 +149,12 @@ std::vector<ChunkRef> content_defined_refs(const Dataset& data,
   std::vector<ChunkRef> refs;
   for (std::size_t s = 0; s < data.segment_count(); ++s) {
     const auto segment = data.segment(s);
-    std::uint64_t start = 0;
-    std::uint64_t hash = 0;
-    for (std::uint64_t i = 0; i < segment.size(); ++i) {
-      hash = (hash << 1) + gear[segment[i]];
-      const std::uint64_t len = i - start + 1;
-      const bool at_boundary =
-          len >= params.min_bytes && (hash & mask) == mask;
-      if (at_boundary || len == params.max_bytes) {
-        refs.push_back(ChunkRef{static_cast<std::uint32_t>(s), start,
-                                static_cast<std::uint32_t>(len)});
-        start = i + 1;
-        hash = 0;
-      }
-    }
-    if (start < segment.size()) {
-      refs.push_back(
-          ChunkRef{static_cast<std::uint32_t>(s), start,
-                   static_cast<std::uint32_t>(segment.size() - start)});
+    if (params.skip_ahead) {
+      chunk_segment_skip(segment, static_cast<std::uint32_t>(s), params, mask,
+                         gear, refs);
+    } else {
+      chunk_segment_reference(segment, static_cast<std::uint32_t>(s), params,
+                              mask, gear, refs);
     }
   }
   return refs;

@@ -19,6 +19,11 @@ struct CdcParams {
   std::size_t avg_bytes = 1024;
   std::size_t max_bytes = 4096;
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;  // gear table seed
+  // Skip-ahead resumes the gear hash min_bytes - log2(avg_bytes) bytes
+  // after each cut instead of re-rolling the whole chunk.  Cut-point
+  // identical to the reference loop (which is kept for differential
+  // tests); the boundary mask only ever sees the last log2(avg) bytes.
+  bool skip_ahead = true;
 };
 
 // Cuts every segment of `data` into content-defined chunks.  Chunks never

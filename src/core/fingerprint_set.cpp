@@ -1,9 +1,48 @@
 #include "core/fingerprint_set.hpp"
 
 #include <algorithm>
+#include <array>
+#include <numeric>
 #include <stdexcept>
 
 namespace collrep::core {
+
+namespace {
+
+constexpr std::size_t kFpBytes = hash::Fingerprint::kBytes;
+
+// delta = a - b over the fingerprint bytes viewed as one big-endian
+// 160-bit integer (byte-lexicographic order == big-endian numeric order,
+// which is exactly the order entries are sorted in).
+std::array<std::uint8_t, kFpBytes> fp_sub(const hash::Fingerprint& a,
+                                          const hash::Fingerprint& b) {
+  std::array<std::uint8_t, kFpBytes> delta{};
+  const auto ab = a.bytes();
+  const auto bb = b.bytes();
+  int borrow = 0;
+  for (std::size_t i = kFpBytes; i-- > 0;) {
+    const int d = static_cast<int>(ab[i]) - static_cast<int>(bb[i]) - borrow;
+    borrow = d < 0 ? 1 : 0;
+    delta[i] = static_cast<std::uint8_t>(d & 0xFF);
+  }
+  return delta;
+}
+
+// base += delta (big-endian); returns the carry out of the top byte.
+int fp_add(hash::Fingerprint& base,
+           const std::array<std::uint8_t, kFpBytes>& delta) {
+  const auto bytes = base.bytes();
+  int carry = 0;
+  for (std::size_t i = kFpBytes; i-- > 0;) {
+    const int s = static_cast<int>(bytes[i]) + static_cast<int>(delta[i]) +
+                  carry;
+    carry = s > 0xFF ? 1 : 0;
+    bytes[i] = static_cast<std::uint8_t>(s & 0xFF);
+  }
+  return carry;
+}
+
+}  // namespace
 
 BoundedFpSet::BoundedFpSet(std::uint32_t f_cap, int k, int nranks)
     : f_cap_(f_cap), k_(k), rank_load_(static_cast<std::size_t>(nranks), 0) {
@@ -13,78 +52,116 @@ BoundedFpSet::BoundedFpSet(std::uint32_t f_cap, int k, int nranks)
 }
 
 void BoundedFpSet::add_local(const hash::Fingerprint& fp, int rank) {
-  auto [it, inserted] = entries_.try_emplace(fp);
-  if (!inserted) {
+  FpEntry e;
+  e.fp = fp;
+  e.freq = 1;
+  e.rank_off = static_cast<std::uint32_t>(rank_pool_.size());
+  e.rank_len = 1;
+  entries_.push_back(e);
+  rank_pool_.push_back(rank);
+  ++rank_load_[static_cast<std::size_t>(rank)];
+  sealed_ = false;
+}
+
+void BoundedFpSet::seal() const {
+  if (sealed_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const FpEntry& a, const FpEntry& b) { return a.fp < b.fp; });
+  const auto dup = std::adjacent_find(
+      entries_.begin(), entries_.end(),
+      [](const FpEntry& a, const FpEntry& b) { return a.fp == b.fp; });
+  if (dup != entries_.end()) {
     throw std::logic_error("BoundedFpSet: duplicate local fingerprint");
   }
-  it->second.freq = 1;
-  it->second.ranks = {rank};
-  ++rank_load_[static_cast<std::size_t>(rank)];
+  sealed_ = true;
+}
+
+const FpEntry* BoundedFpSet::find(const hash::Fingerprint& fp) const {
+  seal();
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), fp,
+      [](const FpEntry& e, const hash::Fingerprint& key) { return e.fp < key; });
+  if (it == entries_.end() || it->fp != fp) return nullptr;
+  return &*it;
+}
+
+std::span<const FpEntry> BoundedFpSet::entries() const {
+  seal();
+  return entries_;
 }
 
 MergeStats BoundedFpSet::enforce_f() {
+  seal();
   MergeStats stats;
   truncate_to_f(stats);
   return stats;
 }
 
 std::size_t BoundedFpSet::prune_singletons() {
-  std::size_t removed = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.freq <= 1) {
-      for (const std::int32_t r : it->second.ranks) {
+  seal();
+  std::size_t kept = 0;
+  for (const FpEntry& e : entries_) {
+    if (e.freq <= 1) {
+      for (const std::int32_t r : ranks(e)) {
         --rank_load_[static_cast<std::size_t>(r)];
       }
-      it = entries_.erase(it);
-      ++removed;
     } else {
-      ++it;
+      entries_[kept++] = e;
     }
   }
+  const std::size_t removed = entries_.size() - kept;
+  entries_.resize(kept);
   return removed;
 }
 
-void BoundedFpSet::truncate_ranks(FpEntry& entry, MergeStats& stats) {
-  if (entry.ranks.size() <= static_cast<std::size_t>(k_)) return;
+void BoundedFpSet::truncate_ranks(std::vector<std::int32_t>& scratch,
+                                  MergeStats& stats) {
+  if (scratch.size() <= static_cast<std::size_t>(k_)) return;
   // Keep the K least loaded designated ranks ("the most loaded ranks are
   // eliminated first", §III-B); ties break toward the lower rank id so the
   // outcome is independent of container iteration order.
-  std::stable_sort(entry.ranks.begin(), entry.ranks.end(),
+  std::stable_sort(scratch.begin(), scratch.end(),
                    [&](std::int32_t a, std::int32_t b) {
                      const auto la = rank_load_[static_cast<std::size_t>(a)];
                      const auto lb = rank_load_[static_cast<std::size_t>(b)];
                      if (la != lb) return la < lb;
                      return a < b;
                    });
-  for (std::size_t i = static_cast<std::size_t>(k_); i < entry.ranks.size();
-       ++i) {
-    --rank_load_[static_cast<std::size_t>(entry.ranks[i])];
+  for (std::size_t i = static_cast<std::size_t>(k_); i < scratch.size(); ++i) {
+    --rank_load_[static_cast<std::size_t>(scratch[i])];
     ++stats.ranks_dropped_load;
   }
-  entry.ranks.resize(static_cast<std::size_t>(k_));
-  std::sort(entry.ranks.begin(), entry.ranks.end());
+  scratch.resize(static_cast<std::size_t>(k_));
+  std::sort(scratch.begin(), scratch.end());
 }
 
 void BoundedFpSet::truncate_to_f(MergeStats& stats) {
   if (entries_.size() <= f_cap_) return;
-  // Rank all entries by (freq desc, fp asc) and keep the first F.  The fp
-  // tie-break makes the survivor set independent of hash-map order.
-  std::vector<std::pair<std::uint32_t, hash::Fingerprint>> order;
-  order.reserve(entries_.size());
-  for (const auto& [fp, e] : entries_) order.emplace_back(e.freq, fp);
-  const auto cmp = [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  };
-  std::nth_element(order.begin(), order.begin() + f_cap_, order.end(), cmp);
-  for (std::size_t i = f_cap_; i < order.size(); ++i) {
-    const auto it = entries_.find(order[i].second);
-    for (std::int32_t r : it->second.ranks) {
-      --rank_load_[static_cast<std::size_t>(r)];
+  // Rank all entries by (freq desc, fp asc) and keep the first F; the fp
+  // tie-break keeps the survivor set deterministic.
+  std::vector<std::uint32_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + f_cap_, order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (entries_[a].freq != entries_[b].freq) {
+                       return entries_[a].freq > entries_[b].freq;
+                     }
+                     return entries_[a].fp < entries_[b].fp;
+                   });
+  std::vector<char> dropped(entries_.size(), 0);
+  for (std::size_t i = f_cap_; i < order.size(); ++i) dropped[order[i]] = 1;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (dropped[i]) {
+      for (const std::int32_t r : ranks(entries_[i])) {
+        --rank_load_[static_cast<std::size_t>(r)];
+      }
+      ++stats.entries_dropped_f;
+    } else {
+      entries_[kept++] = entries_[i];  // compaction keeps fp order
     }
-    entries_.erase(it);
-    ++stats.entries_dropped_f;
   }
+  entries_.resize(kept);
 }
 
 MergeStats BoundedFpSet::merge_from(BoundedFpSet&& other) {
@@ -92,78 +169,148 @@ MergeStats BoundedFpSet::merge_from(BoundedFpSet&& other) {
       other.rank_load_.size() != rank_load_.size()) {
     throw std::invalid_argument("BoundedFpSet: incompatible merge operands");
   }
+  seal();
+  other.seal();
   MergeStats stats;
+  stats.entries_scanned = other.entries_.size();
 
   // Combined designation counts steer the load-aware truncations below.
   for (std::size_t i = 0; i < rank_load_.size(); ++i) {
     rank_load_[i] += other.rank_load_[i];
   }
 
-  // Deterministic processing order (fingerprint ascending) so truncation
-  // decisions do not depend on unordered_map layout.
-  std::vector<hash::Fingerprint> order;
-  order.reserve(other.entries_.size());
-  for (const auto& [fp, e] : other.entries_) order.push_back(fp);
-  std::sort(order.begin(), order.end());
+  std::size_t live_ranks = 0;
+  for (const FpEntry& e : entries_) live_ranks += e.rank_len;
+  for (const FpEntry& e : other.entries_) live_ranks += e.rank_len;
 
-  for (const auto& fp : order) {
-    auto node = other.entries_.extract(fp);
-    FpEntry& incoming = node.mapped();
-    ++stats.entries_scanned;
-    const auto it = entries_.find(fp);
-    if (it == entries_.end()) {
-      entries_.emplace(fp, std::move(incoming));
+  // Single linear pass over both fp-sorted entry vectors; rank lists are
+  // rewritten into a fresh pool, which also drops pool garbage left by
+  // earlier truncations.
+  std::vector<FpEntry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::vector<std::int32_t> pool;
+  pool.reserve(live_ranks);
+  std::vector<std::int32_t> scratch;
+
+  const auto copy_entry = [&](const BoundedFpSet& src, const FpEntry& e) {
+    FpEntry out = e;
+    out.rank_off = static_cast<std::uint32_t>(pool.size());
+    const auto r = src.ranks(e);
+    pool.insert(pool.end(), r.begin(), r.end());
+    merged.push_back(out);
+  };
+
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < entries_.size() || ib < other.entries_.size()) {
+    if (ib == other.entries_.size() ||
+        (ia < entries_.size() && entries_[ia].fp < other.entries_[ib].fp)) {
+      copy_entry(*this, entries_[ia++]);
       continue;
     }
-    FpEntry& mine = it->second;
-    mine.freq += incoming.freq;
-    // Union of two sorted, disjoint-by-construction rank lists.  (The same
-    // rank cannot be designated on both sides: each rank's fingerprints
-    // enter the reduction exactly once.)
-    std::vector<std::int32_t> merged;
-    merged.reserve(mine.ranks.size() + incoming.ranks.size());
-    std::merge(mine.ranks.begin(), mine.ranks.end(), incoming.ranks.begin(),
-               incoming.ranks.end(), std::back_inserter(merged));
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-    mine.ranks = std::move(merged);
-    truncate_ranks(mine, stats);
+    if (ia == entries_.size() || other.entries_[ib].fp < entries_[ia].fp) {
+      copy_entry(other, other.entries_[ib++]);
+      continue;
+    }
+    // Common fingerprint: sum frequencies, union the two sorted rank lists
+    // (disjoint by construction: each rank's fingerprints enter the
+    // reduction exactly once), re-enforce the K bound.
+    const FpEntry& a = entries_[ia++];
+    const FpEntry& b = other.entries_[ib++];
+    scratch.clear();
+    const auto ra = ranks(a);
+    const auto rb = other.ranks(b);
+    std::merge(ra.begin(), ra.end(), rb.begin(), rb.end(),
+               std::back_inserter(scratch));
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    truncate_ranks(scratch, stats);
+
+    FpEntry out;
+    out.fp = a.fp;
+    out.freq = a.freq + b.freq;
+    out.rank_off = static_cast<std::uint32_t>(pool.size());
+    out.rank_len = static_cast<std::uint32_t>(scratch.size());
+    pool.insert(pool.end(), scratch.begin(), scratch.end());
+    merged.push_back(out);
   }
 
+  entries_ = std::move(merged);
+  rank_pool_ = std::move(pool);
   truncate_to_f(stats);
   return stats;
 }
 
 bool BoundedFpSet::check_invariants() const {
+  seal();
   if (entries_.size() > f_cap_) return false;
   std::vector<std::uint32_t> counted(rank_load_.size(), 0);
-  for (const auto& [fp, e] : entries_) {
+  const hash::Fingerprint* prev = nullptr;
+  for (const FpEntry& e : entries_) {
+    if (prev != nullptr && !(*prev < e.fp)) return false;
+    prev = &e.fp;
     if (e.freq == 0) return false;
-    if (e.ranks.empty() || e.ranks.size() > static_cast<std::size_t>(k_)) {
+    if (e.rank_len == 0 || e.rank_len > static_cast<std::uint32_t>(k_)) {
       return false;
     }
-    if (!std::is_sorted(e.ranks.begin(), e.ranks.end())) return false;
-    if (std::adjacent_find(e.ranks.begin(), e.ranks.end()) != e.ranks.end()) {
+    if (static_cast<std::size_t>(e.rank_off) + e.rank_len > rank_pool_.size()) {
       return false;
     }
-    for (std::int32_t r : e.ranks) {
-      if (r < 0 || static_cast<std::size_t>(r) >= counted.size()) return false;
-      ++counted[static_cast<std::size_t>(r)];
+    const auto r = ranks(e);
+    if (!std::is_sorted(r.begin(), r.end())) return false;
+    if (std::adjacent_find(r.begin(), r.end()) != r.end()) return false;
+    for (const std::int32_t rank : r) {
+      if (rank < 0 || static_cast<std::size_t>(rank) >= counted.size()) {
+        return false;
+      }
+      ++counted[static_cast<std::size_t>(rank)];
     }
   }
   return counted == rank_load_;
 }
 
+// Wire format (canonical: entries fingerprint-ascending, so equal sets
+// serialize to identical bytes):
+//   header: F, K, nranks, rank_load[], entry count
+//   per entry, delta-coded against the previous fingerprint:
+//     u8 lead  — zero bytes before the significant delta run
+//     u8 len   — significant delta bytes (big-endian); trailing zeros
+//                implied (u64-derived fingerprints have 12 of them)
+//     len raw bytes, varint freq, varint rank count,
+//     varint first rank then varint rank deltas (lists are sorted).
 void save(simmpi::OArchive& ar, const BoundedFpSet& s) {
+  s.seal();
   ar.put(s.f_cap_);
   ar.put(s.k_);
   ar.put(static_cast<std::uint32_t>(s.rank_load_.size()));
   ar.put(s.rank_load_);
   ar.put_size(s.entries_.size());
-  for (const auto& [fp, e] : s.entries_) {
-    ar.put(fp);
-    ar.put(e.freq);
-    ar.put(static_cast<std::uint16_t>(e.ranks.size()));
-    for (std::int32_t r : e.ranks) ar.put(r);
+
+  std::size_t live_ranks = 0;
+  for (const FpEntry& e : s.entries_) live_ranks += e.rank_len;
+  // Worst case per entry: 2 header bytes + full fingerprint + 5-byte freq
+  // varint; 5 bytes per designated rank.
+  ar.reserve(s.entries_.size() * (2 + kFpBytes + 5 + 5) + live_ranks * 5);
+
+  hash::Fingerprint prev;
+  for (const FpEntry& e : s.entries_) {
+    const auto delta = fp_sub(e.fp, prev);
+    std::size_t lead = 0;
+    while (lead < kFpBytes && delta[lead] == 0) ++lead;
+    std::size_t last = kFpBytes;
+    while (last > lead && delta[last - 1] == 0) --last;
+    const std::size_t len = last - lead;  // 0 only for an all-zero delta
+    ar.put(static_cast<std::uint8_t>(lead));
+    ar.put(static_cast<std::uint8_t>(len));
+    ar.write_raw(delta.data() + lead, len);
+    ar.put_varint(e.freq);
+    const auto r = s.ranks(e);
+    ar.put_varint(r.size());
+    std::int32_t prev_rank = 0;
+    for (const std::int32_t rank : r) {
+      ar.put_varint(static_cast<std::uint64_t>(rank - prev_rank));
+      prev_rank = rank;
+    }
+    prev = e.fp;
   }
 }
 
@@ -179,16 +326,37 @@ void load(simmpi::IArchive& ar, BoundedFpSet& s) {
   const std::size_t count = ar.get_size();
   s.entries_.clear();
   s.entries_.reserve(count);
+  s.rank_pool_.clear();
+
+  hash::Fingerprint prev;
   for (std::size_t i = 0; i < count; ++i) {
-    hash::Fingerprint fp;
-    ar.get(fp);
+    const auto lead = ar.get<std::uint8_t>();
+    const auto len = ar.get<std::uint8_t>();
+    if (static_cast<std::size_t>(lead) + len > kFpBytes) {
+      throw std::runtime_error("BoundedFpSet: corrupt fingerprint delta");
+    }
+    std::array<std::uint8_t, kFpBytes> delta{};
+    ar.read_raw(delta.data() + lead, len);
+    if (i > 0 && len == 0) {
+      throw std::runtime_error("BoundedFpSet: fingerprints not ascending");
+    }
     FpEntry e;
-    ar.get(e.freq);
-    const auto nranks_entry = ar.get<std::uint16_t>();
-    e.ranks.resize(nranks_entry);
-    for (auto& r : e.ranks) ar.get(r);
-    s.entries_.emplace(fp, std::move(e));
+    e.fp = prev;
+    if (fp_add(e.fp, delta) != 0) {
+      throw std::runtime_error("BoundedFpSet: corrupt fingerprint delta");
+    }
+    e.freq = static_cast<std::uint32_t>(ar.get_varint());
+    e.rank_off = static_cast<std::uint32_t>(s.rank_pool_.size());
+    e.rank_len = static_cast<std::uint32_t>(ar.get_varint());
+    std::int32_t rank = 0;
+    for (std::uint32_t j = 0; j < e.rank_len; ++j) {
+      rank += static_cast<std::int32_t>(ar.get_varint());
+      s.rank_pool_.push_back(rank);
+    }
+    s.entries_.push_back(e);
+    prev = e.fp;
   }
+  s.sealed_ = true;
 }
 
 }  // namespace collrep::core

@@ -10,11 +10,17 @@
 //     into the reduction ("uniform rank assignment").
 // A per-rank designation-count vector travels with the set so truncation
 // decisions stay consistent as the reduction ascends the tree.
+//
+// Storage is a fingerprint-sorted flat vector of fixed-size entries whose
+// designated-rank lists live in one shared pool, so HMERGE is a single
+// linear two-pointer merge (no rehashing, no per-entry allocation) and
+// lookups are a binary search over contiguous memory.  add_local() is an
+// O(1) append; the set seals itself (sort + duplicate check) lazily at the
+// first lookup, merge, bound enforcement, or serialization.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "hash/fingerprint.hpp"
@@ -23,8 +29,10 @@
 namespace collrep::core {
 
 struct FpEntry {
-  std::uint32_t freq = 0;  // number of processes holding the chunk
-  std::vector<std::int32_t> ranks;  // designated ranks, sorted, size <= K
+  hash::Fingerprint fp{};
+  std::uint32_t freq = 0;      // number of processes holding the chunk
+  std::uint32_t rank_off = 0;  // into the set's shared rank pool
+  std::uint32_t rank_len = 0;  // designated ranks, sorted, <= K
 };
 
 struct MergeStats {
@@ -38,7 +46,9 @@ class BoundedFpSet {
   BoundedFpSet() = default;
   BoundedFpSet(std::uint32_t f_cap, int k, int nranks);
 
-  // Registers one locally unique fingerprint of `rank` (freq 1).  Call
+  // Registers one locally unique fingerprint of `rank` (freq 1).  O(1)
+  // append; a duplicate fingerprint is diagnosed (std::logic_error) at the
+  // next seal point — enforce_f(), merge_from(), find(), or save().  Call
   // enforce_f() once after the last add_local (adds skip the F bound so
   // leaf construction stays linear).
   void add_local(const hash::Fingerprint& fp, int rank);
@@ -56,10 +66,18 @@ class BoundedFpSet {
   // Returns the number of entries removed.
   std::size_t prune_singletons();
 
-  [[nodiscard]] const FpEntry* find(const hash::Fingerprint& fp) const {
-    const auto it = entries_.find(fp);
-    return it == entries_.end() ? nullptr : &it->second;
+  // Binary search over the sorted entry vector; nullptr when absent.  The
+  // pointer is invalidated by any mutating call.
+  [[nodiscard]] const FpEntry* find(const hash::Fingerprint& fp) const;
+
+  // The designated ranks of an entry obtained from find()/entries().
+  [[nodiscard]] std::span<const std::int32_t> ranks(
+      const FpEntry& entry) const noexcept {
+    return {rank_pool_.data() + entry.rank_off, entry.rank_len};
   }
+
+  // All entries, fingerprint-ascending.
+  [[nodiscard]] std::span<const FpEntry> entries() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::uint32_t f_cap() const noexcept { return f_cap_; }
@@ -72,29 +90,29 @@ class BoundedFpSet {
   [[nodiscard]] std::span<const std::uint32_t> rank_load() const noexcept {
     return rank_load_;
   }
-  [[nodiscard]] const std::unordered_map<hash::Fingerprint, FpEntry,
-                                         hash::FingerprintHash>&
-  entries() const noexcept {
-    return entries_;
-  }
 
   // Verifies internal consistency (tests): load vector matches entries,
-  // rank lists sorted/unique/bounded, size within F.
+  // rank lists sorted/unique/bounded, entries sorted, size within F.
   [[nodiscard]] bool check_invariants() const;
 
   friend void save(simmpi::OArchive& ar, const BoundedFpSet& s);
   friend void load(simmpi::IArchive& ar, BoundedFpSet& s);
 
  private:
-  // Drops designated ranks (most loaded first) until |ranks| <= K.
-  void truncate_ranks(FpEntry& entry, MergeStats& stats);
+  // Sorts appended entries by fingerprint and rejects duplicates.  Lazily
+  // invoked from const accessors (single-owner objects, not thread-safe).
+  void seal() const;
+  // Keeps the K least-loaded designated ranks of `scratch` (ties toward
+  // the lower rank id), releasing the dropped ranks' load.
+  void truncate_ranks(std::vector<std::int32_t>& scratch, MergeStats& stats);
   // Drops least frequent entries until size() <= F.
   void truncate_to_f(MergeStats& stats);
 
   std::uint32_t f_cap_ = 0;
   int k_ = 1;
-  std::unordered_map<hash::Fingerprint, FpEntry, hash::FingerprintHash>
-      entries_;
+  mutable bool sealed_ = true;
+  mutable std::vector<FpEntry> entries_;  // fp-ascending once sealed
+  std::vector<std::int32_t> rank_pool_;
   std::vector<std::uint32_t> rank_load_;
 };
 

@@ -75,7 +75,7 @@ ReplicaPlan plan_collective(const LocalDedupResult& local,
       continue;
     }
 
-    const auto& designated = entry->ranks;
+    const auto designated = gview.ranks(*entry);
     const auto me =
         std::lower_bound(designated.begin(), designated.end(), my_rank);
     if (me == designated.end() || *me != my_rank) {

@@ -1,22 +1,19 @@
 #include "ec/gf256.hpp"
 
+#include "kernels/kernels.hpp"
+
 namespace collrep::ec {
 
 void gf_mul_add(std::span<std::uint8_t> out, std::span<const std::uint8_t> in,
                 std::uint8_t coeff) noexcept {
-  if (coeff == 0) return;
   const std::size_t n = in.size() < out.size() ? in.size() : out.size();
-  if (coeff == 1) {
-    for (std::size_t i = 0; i < n; ++i) out[i] ^= in[i];
-    return;
-  }
-  // Row of the multiplication table for `coeff`, built once per call;
-  // amortized over the (chunk-sized) payload this beats log/exp lookups.
-  std::uint8_t row[256];
-  for (int v = 0; v < 256; ++v) {
-    row[v] = gf_mul(coeff, static_cast<std::uint8_t>(v));
-  }
-  for (std::size_t i = 0; i < n; ++i) out[i] ^= row[in[i]];
+  kernels::dispatch().gf_mul_add(out.data(), in.data(), n, coeff);
+}
+
+void gf_mul(std::span<std::uint8_t> out, std::span<const std::uint8_t> in,
+            std::uint8_t coeff) noexcept {
+  const std::size_t n = in.size() < out.size() ? in.size() : out.size();
+  kernels::dispatch().gf_mul(out.data(), in.data(), n, coeff);
 }
 
 }  // namespace collrep::ec

@@ -71,7 +71,14 @@ constexpr std::uint8_t gf_pow(std::uint8_t a, unsigned e) noexcept {
 }
 
 // out[i] ^= coeff * in[i] — the hot loop of encoding and decoding.
+// Dispatched through src/kernels (AVX2/SSSE3 split-nibble tables when the
+// CPU has them, scalar table fallback otherwise).
 void gf_mul_add(std::span<std::uint8_t> out, std::span<const std::uint8_t> in,
                 std::uint8_t coeff) noexcept;
+
+// out[i] = coeff * in[i] — overwrite form (first row of an encode
+// accumulation, saving the zero-fill + XOR pass).  Same dispatch.
+void gf_mul(std::span<std::uint8_t> out, std::span<const std::uint8_t> in,
+            std::uint8_t coeff) noexcept;
 
 }  // namespace collrep::ec

@@ -164,14 +164,15 @@ EcDumpStats EcDumper::dump_output(const chunk::Dataset& buffer) {
       keep.push_back(chunk_index);
       continue;
     }
-    const bool designated = std::binary_search(entry->ranks.begin(),
-                                               entry->ranks.end(), rank);
+    const auto dranks = gview.ranks(*entry);
+    const bool designated =
+        std::binary_search(dranks.begin(), dranks.end(), rank);
     if (!designated) {
       ++stats.excluded_chunks;  // cap other ranks already hold it
       continue;
     }
     keep.push_back(chunk_index);
-    if (static_cast<int>(entry->ranks.size()) < cap) {
+    if (static_cast<int>(dranks.size()) < cap) {
       stream.push_back(chunk_index);
     } else {
       ++stats.excluded_chunks;  // enough natural copies; skip coding

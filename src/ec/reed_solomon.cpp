@@ -43,8 +43,11 @@ void ReedSolomon::encode(
   }
   for (int j = 0; j < r_; ++j) {
     auto& out = parity[static_cast<std::size_t>(j)];
-    out.assign(len, 0);
-    for (int i = 0; i < m_; ++i) {
+    out.resize(len);
+    // First row overwrites (gf_mul), the rest accumulate — saves the
+    // zero-fill pass over each parity shard.
+    gf_mul(out, data[0], coeff(j, 0));
+    for (int i = 1; i < m_; ++i) {
       gf_mul_add(out, data[static_cast<std::size_t>(i)], coeff(j, i));
     }
   }
@@ -147,13 +150,18 @@ std::vector<std::vector<std::uint8_t>> ReedSolomon::reconstruct_data(
   std::vector<std::vector<std::uint8_t>> out(
       static_cast<std::size_t>(m_), std::vector<std::uint8_t>(len, 0));
   for (int i = 0; i < m_; ++i) {
+    bool first = true;
     for (int row = 0; row < m_; ++row) {
       const std::uint8_t c = at(inv, i, row);
       if (c == 0) continue;
-      gf_mul_add(out[static_cast<std::size_t>(i)],
-                 *shards[static_cast<std::size_t>(
-                     chosen[static_cast<std::size_t>(row)])],
-                 c);
+      const auto& survivor = *shards[static_cast<std::size_t>(
+          chosen[static_cast<std::size_t>(row)])];
+      if (first) {
+        gf_mul(out[static_cast<std::size_t>(i)], survivor, c);
+        first = false;
+      } else {
+        gf_mul_add(out[static_cast<std::size_t>(i)], survivor, c);
+      }
     }
   }
   return out;

@@ -1,36 +1,14 @@
 #include "hash/crc32c.hpp"
 
-#include <array>
+#include "kernels/kernels.hpp"
 
 namespace collrep::hash {
 
-namespace {
-
-constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
-
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
-    }
-    table[i] = crc;
-  }
-  return table;
-}
-
-constexpr auto kTable = make_table();
-
-}  // namespace
-
 std::uint32_t crc32c(std::span<const std::uint8_t> data,
                      std::uint32_t seed) noexcept {
-  std::uint32_t crc = ~seed;
-  for (std::uint8_t b : data) {
-    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
+  // The kernel folds bytes into the raw (complemented) CRC register; the
+  // SSE4.2 variant uses the hardware CRC32 instruction when available.
+  return ~kernels::dispatch().crc32c(~seed, data.data(), data.size());
 }
 
 }  // namespace collrep::hash

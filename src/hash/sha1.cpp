@@ -1,17 +1,10 @@
 #include "hash/sha1.hpp"
 
-#include <bit>
 #include <cstring>
 
+#include "kernels/kernels.hpp"
+
 namespace collrep::hash {
-
-namespace {
-
-constexpr std::uint32_t rol(std::uint32_t v, int s) noexcept {
-  return std::rotl(v, s);
-}
-
-}  // namespace
 
 void Sha1::reset() noexcept {
   state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
@@ -19,56 +12,11 @@ void Sha1::reset() noexcept {
   buffered_ = 0;
 }
 
-void Sha1::process_block(const std::uint8_t* block) noexcept {
-  std::uint32_t w[80];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 80; ++i) {
-    w[i] = rol(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
-  }
-
-  std::uint32_t a = state_[0];
-  std::uint32_t b = state_[1];
-  std::uint32_t c = state_[2];
-  std::uint32_t d = state_[3];
-  std::uint32_t e = state_[4];
-
-  for (int i = 0; i < 80; ++i) {
-    std::uint32_t f;
-    std::uint32_t k;
-    if (i < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5A827999u;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1u;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDCu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6u;
-    }
-    const std::uint32_t tmp = rol(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = rol(b, 30);
-    b = a;
-    a = tmp;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-}
-
 void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  // The compression function is dispatched through src/kernels (SHA-NI
+  // when the CPU has it, the block-pipelined scalar otherwise) and takes
+  // a run of blocks per call, so bulk updates pay one indirection total.
+  const kernels::Sha1BlocksFn compress = kernels::dispatch().sha1_blocks;
   total_bytes_ += data.size();
   std::size_t offset = 0;
 
@@ -79,14 +27,15 @@ void Sha1::update(std::span<const std::uint8_t> data) noexcept {
     buffered_ += take;
     offset += take;
     if (buffered_ == kBlockBytes) {
-      process_block(buffer_.data());
+      compress(state_.data(), buffer_.data(), 1);
       buffered_ = 0;
     }
   }
 
-  while (offset + kBlockBytes <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kBlockBytes;
+  const std::size_t full_blocks = (data.size() - offset) / kBlockBytes;
+  if (full_blocks > 0) {
+    compress(state_.data(), data.data() + offset, full_blocks);
+    offset += full_blocks * kBlockBytes;
   }
 
   if (offset < data.size()) {

@@ -1,6 +1,8 @@
 // SHA-1 (RFC 3174).  Self-contained implementation used as the default
 // crypto-grade fingerprint function, mirroring the paper's use of OpenSSL
-// SHA1.  Supports both one-shot and streaming use.
+// SHA1.  Supports both one-shot and streaming use.  The compression
+// function dispatches through src/kernels (SHA-NI or block-pipelined
+// scalar, COLLREP_KERNELS=scalar forces the reference rounds loop).
 #pragma once
 
 #include <array>
@@ -27,8 +29,6 @@ class Sha1 {
       std::span<const std::uint8_t> data) noexcept;
 
  private:
-  void process_block(const std::uint8_t* block) noexcept;
-
   std::array<std::uint32_t, 5> state_{};
   std::array<std::uint8_t, kBlockBytes> buffer_{};
   std::uint64_t total_bytes_ = 0;

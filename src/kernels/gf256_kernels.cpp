@@ -1,0 +1,247 @@
+// GF(256) multiply(-accumulate) kernel variants.
+//
+// The SIMD variants use the ISA-L-style split-nibble scheme: for a fixed
+// coefficient c, a byte b = (hi << 4) | lo satisfies
+//   c * b = c * (hi << 4)  ^  c * lo
+// so two 16-entry tables (one per nibble) cover the whole product and a
+// PSHUFB per nibble evaluates 16 (SSSE3) or 32 (AVX2) products per
+// instruction.  Both 16-byte tables for all 256 coefficients are built
+// once at startup (8 KB, shared by every call).
+#include "kernels/kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define COLLREP_KERNELS_X86 1
+#endif
+
+namespace collrep::kernels {
+
+namespace {
+
+// Self-contained shift-xor multiply mod 0x11D; init-time only (the hot
+// paths below never call it).
+constexpr std::uint8_t slow_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint16_t acc = 0;
+  std::uint16_t aa = a;
+  for (int bit = 0; bit < 8; ++bit) {
+    if ((b >> bit) & 1) acc ^= static_cast<std::uint16_t>(aa << bit);
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if ((acc >> bit) & 1) {
+      acc ^= static_cast<std::uint16_t>(0x11D << (bit - 8));
+    }
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+struct NibbleTables {
+  alignas(32) std::uint8_t lo[256][16];
+  alignas(32) std::uint8_t hi[256][16];
+};
+
+const NibbleTables& nibble_tables() noexcept {
+  static const NibbleTables tables = [] {
+    NibbleTables t;
+    for (int c = 0; c < 256; ++c) {
+      for (int v = 0; v < 16; ++v) {
+        t.lo[c][v] = slow_mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(v));
+        t.hi[c][v] = slow_mul(static_cast<std::uint8_t>(c),
+                              static_cast<std::uint8_t>(v << 4));
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// -- scalar reference ---------------------------------------------------------
+
+void gf_mul_add_scalar(std::uint8_t* out, const std::uint8_t* in,
+                       std::size_t n, std::uint8_t coeff) noexcept {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] ^= in[i];
+    return;
+  }
+  // Row of the multiplication table for `coeff`, built once per call;
+  // amortized over the (chunk-sized) payload this beats log/exp lookups.
+  std::uint8_t row[256];
+  for (int v = 0; v < 256; ++v) {
+    row[v] = slow_mul(coeff, static_cast<std::uint8_t>(v));
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] ^= row[in[i]];
+}
+
+void gf_mul_scalar(std::uint8_t* out, const std::uint8_t* in, std::size_t n,
+                   std::uint8_t coeff) noexcept {
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i];
+    return;
+  }
+  std::uint8_t row[256];
+  for (int v = 0; v < 256; ++v) {
+    row[v] = slow_mul(coeff, static_cast<std::uint8_t>(v));
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = row[in[i]];
+}
+
+// Split-nibble tail shared by the SIMD variants for the last < 16 bytes.
+inline std::uint8_t nibble_mul(const NibbleTables& t, std::uint8_t coeff,
+                               std::uint8_t b) noexcept {
+  return static_cast<std::uint8_t>(t.lo[coeff][b & 0xF] ^
+                                   t.hi[coeff][b >> 4]);
+}
+
+#ifdef COLLREP_KERNELS_X86
+
+// -- SSSE3 --------------------------------------------------------------------
+
+__attribute__((target("ssse3"))) void gf_mul_add_ssse3(
+    std::uint8_t* out, const std::uint8_t* in, std::size_t n,
+    std::uint8_t coeff) noexcept {
+  if (coeff == 0) return;
+  const NibbleTables& t = nibble_tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeff]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeff]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                       _mm_shuffle_epi8(thi, hi));
+    const __m128i o = _mm_loadu_si128(reinterpret_cast<__m128i*>(out + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_xor_si128(o, prod));
+  }
+  for (; i < n; ++i) out[i] ^= nibble_mul(t, coeff, in[i]);
+}
+
+__attribute__((target("ssse3"))) void gf_mul_ssse3(
+    std::uint8_t* out, const std::uint8_t* in, std::size_t n,
+    std::uint8_t coeff) noexcept {
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const NibbleTables& t = nibble_tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeff]));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeff]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_xor_si128(_mm_shuffle_epi8(tlo, lo),
+                                   _mm_shuffle_epi8(thi, hi)));
+  }
+  for (; i < n; ++i) out[i] = nibble_mul(t, coeff, in[i]);
+}
+
+// -- AVX2 ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void gf_mul_add_avx2(
+    std::uint8_t* out, const std::uint8_t* in, std::size_t n,
+    std::uint8_t coeff) noexcept {
+  if (coeff == 0) return;
+  const NibbleTables& t = nibble_tables();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeff])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeff])));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  // 2x unrolled: two independent load/shuffle/xor chains per iteration.
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i + 32));
+    const __m256i p0 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(tlo, _mm256_and_si256(v0, mask)),
+        _mm256_shuffle_epi8(
+            thi, _mm256_and_si256(_mm256_srli_epi64(v0, 4), mask)));
+    const __m256i p1 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(tlo, _mm256_and_si256(v1, mask)),
+        _mm256_shuffle_epi8(
+            thi, _mm256_and_si256(_mm256_srli_epi64(v1, 4), mask)));
+    const __m256i o0 =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(out + i));
+    const __m256i o1 =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(out + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_xor_si256(o0, p0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 32),
+                        _mm256_xor_si256(o1, p1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i p = _mm256_xor_si256(
+        _mm256_shuffle_epi8(tlo, _mm256_and_si256(v, mask)),
+        _mm256_shuffle_epi8(thi,
+                            _mm256_and_si256(_mm256_srli_epi64(v, 4), mask)));
+    const __m256i o = _mm256_loadu_si256(reinterpret_cast<__m256i*>(out + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_xor_si256(o, p));
+  }
+  for (; i < n; ++i) out[i] ^= nibble_mul(t, coeff, in[i]);
+}
+
+__attribute__((target("avx2"))) void gf_mul_avx2(
+    std::uint8_t* out, const std::uint8_t* in, std::size_t n,
+    std::uint8_t coeff) noexcept {
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const NibbleTables& t = nibble_tables();
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeff])));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeff])));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_xor_si256(
+            _mm256_shuffle_epi8(tlo, _mm256_and_si256(v, mask)),
+            _mm256_shuffle_epi8(
+                thi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask))));
+  }
+  for (; i < n; ++i) out[i] = nibble_mul(t, coeff, in[i]);
+}
+
+#endif  // COLLREP_KERNELS_X86
+
+}  // namespace
+
+std::span<const GfVariant> gf_variants() noexcept {
+  static const GfVariant variants[] = {
+      {"scalar", true, &gf_mul_add_scalar, &gf_mul_scalar},
+#ifdef COLLREP_KERNELS_X86
+      {"ssse3", cpu_features().ssse3, &gf_mul_add_ssse3, &gf_mul_ssse3},
+      {"avx2", cpu_features().avx2, &gf_mul_add_avx2, &gf_mul_avx2},
+#endif
+  };
+  return variants;
+}
+
+}  // namespace collrep::kernels

@@ -92,6 +92,19 @@ class OArchive {
     write_raw(&v, sizeof v);
   }
 
+  // LEB128 unsigned varint: 1 byte for values < 128, <= 10 bytes total.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  // Grows the buffer capacity by `n` upcoming bytes; callers that know the
+  // payload size (e.g. entry counts) avoid repeated reallocation.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
     return buf_;
   }
@@ -169,6 +182,22 @@ class IArchive {
     std::uint64_t v = 0;
     read_raw(&v, sizeof v);
     return static_cast<std::size_t>(v);
+  }
+
+  [[nodiscard]] std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) {
+        throw std::runtime_error("IArchive: varint past end of buffer");
+      }
+      const std::uint8_t b = data_[pos_++];
+      if (shift == 63 && b > 1) {
+        throw std::runtime_error("IArchive: varint overflows 64 bits");
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+      if ((b & 0x80u) == 0) return v;
+    }
+    throw std::runtime_error("IArchive: varint overflows 64 bits");
   }
 
   [[nodiscard]] std::size_t remaining() const noexcept {
