@@ -10,7 +10,7 @@
 
 #include "apps/synth.hpp"
 #include "bench_util.hpp"
-#include "ec/group_parity.hpp"
+#include "core/group_parity.hpp"
 
 int main(int argc, char** argv) {
   const collrep::bench::TelemetryScope telemetry(argc, argv);
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   std::uint64_t ec_traffic = 0;
   double ec_time = 0.0;
   {
-    ec::EcConfig cfg;
+    core::EcConfig cfg;
     cfg.group_size = 4;
     cfg.parity = 2;
     cfg.chunk_bytes = spec.chunk_bytes;
@@ -74,13 +74,13 @@ int main(int argc, char** argv) {
       stores.emplace_back(chunk::StoreMode::kAccounting);
     }
     simmpi::Runtime rt(nranks);
-    std::vector<ec::EcDumpStats> stats(static_cast<std::size_t>(nranks));
+    std::vector<core::EcDumpStats> stats(static_cast<std::size_t>(nranks));
     rt.run([&](simmpi::Comm& comm) {
       const int r = comm.rank();
       const auto data = apps::synth_dataset(r, nranks, spec);
       chunk::Dataset ds;
       ds.add_segment(data);
-      ec::EcDumper dumper(comm, stores[static_cast<std::size_t>(r)], cfg);
+      core::EcDumper dumper(comm, stores[static_cast<std::size_t>(r)], cfg);
       stats[static_cast<std::size_t>(r)] = dumper.dump_output(ds);
     });
     for (const auto& s : stats) {

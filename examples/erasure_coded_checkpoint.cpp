@@ -13,7 +13,7 @@
 
 #include "apps/synth.hpp"
 #include "core/collrep.hpp"
-#include "ec/group_parity.hpp"
+#include "core/group_parity.hpp"
 #include "ftrt/checkpoint.hpp"
 
 using namespace collrep;
@@ -21,7 +21,7 @@ using namespace collrep;
 int main(int argc, char** argv) {
   const int nranks = argc > 1 ? std::atoi(argv[1]) : 12;
 
-  ec::EcConfig cfg;
+  core::EcConfig cfg;
   cfg.group_size = 4;  // RS data shards per group
   cfg.parity = 2;      // tolerated store losses
   cfg.chunk_bytes = 1024;
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     chunk::Dataset ds;
     ds.add_segment(originals[static_cast<std::size_t>(rank)]);
 
-    ec::EcDumper dumper(comm, stores[static_cast<std::size_t>(rank)], cfg);
+    core::EcDumper dumper(comm, stores[static_cast<std::size_t>(rank)], cfg);
     const auto stats = dumper.dump_output(ds);
 
     const auto stream = simmpi::allreduce_sum(comm, stats.stream_chunks);
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   std::printf("failed stores: 0 2\n");
 
   for (int rank = 0; rank < nranks; ++rank) {
-    const auto restored = ec::ec_restore_rank(ptrs, rank, cfg);
+    const auto restored = core::ec_restore_rank(ptrs, rank, cfg);
     if (restored.segments.at(0) != originals[static_cast<std::size_t>(rank)]) {
       std::printf("rank %d: RESTORE MISMATCH\n", rank);
       return 1;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# collcheck gate: build the project-specific static analyzer and run it over
+# the tree.  Exits non-zero on any finding not covered by the checked-in
+# baseline (tools/collcheck/baseline.txt) or an inline
+# `// collcheck:allow(RULE)` comment.  Rule catalog: `collcheck --list-rules`
+# or DESIGN.md §10.
+#
+#   scripts/analyze.sh                 # analyze src/ tools/ bench/ tests/ examples/
+#   COLLCHECK_SARIF=out.sarif scripts/analyze.sh   # also write SARIF
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+build_dir="${COLLCHECK_BUILD_DIR:-build-analyze}"
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target collcheck -j >/dev/null
+
+args=(--repo-root "$repo" --baseline tools/collcheck/baseline.txt)
+if [[ -n "${COLLCHECK_SARIF:-}" ]]; then
+  args+=(--sarif "$COLLCHECK_SARIF")
+fi
+
+echo "== analyze: collcheck =="
+"$build_dir/tools/collcheck/collcheck" "${args[@]}" \
+    src tools bench tests examples
+
+echo "analyze: OK"

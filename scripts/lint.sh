@@ -39,4 +39,9 @@ else
   cmake --build "$lint_dir" -j
 fi
 
+# Project-specific rules (collective matching, RMA epochs, layer DAG,
+# determinism) that no generic linter knows about; shares its entry point
+# with the CI analyze job.
+COLLCHECK_BUILD_DIR="$lint_dir" scripts/analyze.sh
+
 echo "lint: OK"

@@ -21,6 +21,14 @@ cmake -B build -S . -DCOLLREP_WERROR=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# collcheck rides the tier-1 build (the binary is part of the default
+# target): zero-cost static gate over the whole tree.  Rule catalog in
+# DESIGN.md §10; intentional exceptions live in tools/collcheck/baseline.txt.
+echo "== collcheck =="
+build/tools/collcheck/collcheck --repo-root "$repo" \
+    --baseline tools/collcheck/baseline.txt \
+    src tools bench tests examples
+
 if [[ -n "${COLLREP_SANITIZE:-}" ]]; then
   san_dir="build-${COLLREP_SANITIZE}"
   echo "== sanitizer pass (${COLLREP_SANITIZE}) =="

@@ -1,4 +1,4 @@
-#include "ec/group_parity.hpp"
+#include "core/group_parity.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -9,7 +9,7 @@
 #include "core/local_dedup.hpp"
 #include "simmpi/collectives.hpp"
 
-namespace collrep::ec {
+namespace collrep::core {
 
 namespace {
 
@@ -208,7 +208,7 @@ EcDumpStats EcDumper::dump_output(const chunk::Dataset& buffer) {
 
   // ---- ring-chain parity accumulation -----------------------------------------
   if (config_.parity > 0 && shard_len > 0) {
-    const ReedSolomon rs(m_eff, config_.parity);
+    const ec::ReedSolomon rs(m_eff, config_.parity);
     std::vector<std::vector<std::uint8_t>> partial(
         static_cast<std::size_t>(config_.parity));
     if (my_index == 0) {
@@ -218,7 +218,7 @@ EcDumpStats EcDumper::dump_output(const chunk::Dataset& buffer) {
           members[static_cast<std::size_t>(my_index - 1)], kChainTag);
     }
     for (int j = 0; j < config_.parity; ++j) {
-      gf_mul_add(partial[static_cast<std::size_t>(j)], own_shard,
+      ec::gf_mul_add(partial[static_cast<std::size_t>(j)], own_shard,
                  rs.coeff(j, my_index));
       // GF multiply-accumulate over the shard.
       comm_.charge(static_cast<double>(shard_len) / cluster.mem_bandwidth_bps);
@@ -452,7 +452,7 @@ core::RestoreResult ec_restore_rank(
           std::vector<std::uint8_t>(shard.begin(), shard.end());
     }
 
-    const ReedSolomon rs(m_eff, config.parity);
+    const ec::ReedSolomon rs(m_eff, config.parity);
     const auto data = rs.reconstruct_data(shards);
     for (int i = 0; i < m_eff; ++i) {
       const auto& sm = streams[static_cast<std::size_t>(i)];
@@ -523,4 +523,4 @@ core::RestoreResult ec_restore_rank(
   return out;
 }
 
-}  // namespace collrep::ec
+}  // namespace collrep::core

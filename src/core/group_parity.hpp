@@ -26,12 +26,12 @@
 
 #include "chunk/dataset.hpp"
 #include "chunk/store.hpp"
-#include "core/dump.hpp"
+#include "hash/hasher.hpp"
 #include "core/restore.hpp"
 #include "ec/reed_solomon.hpp"
 #include "simmpi/comm.hpp"
 
-namespace collrep::ec {
+namespace collrep::core {
 
 struct EcConfig {
   int group_size = 4;   // RS data shards (m)
@@ -92,4 +92,4 @@ class EcDumper {
     std::span<chunk::ChunkStore* const> stores, int rank,
     const EcConfig& config);
 
-}  // namespace collrep::ec
+}  // namespace collrep::core

@@ -2,12 +2,12 @@
 // stability — the restore path depends on recomputing these identically.
 #include <gtest/gtest.h>
 
-#include "ec/group_parity.hpp"
+#include "core/group_parity.hpp"
 
 namespace {
 
 using namespace collrep;
-using ec::EcConfig;
+using core::EcConfig;
 
 EcConfig cfg(int m, int r) {
   EcConfig c;
@@ -18,19 +18,19 @@ EcConfig cfg(int m, int r) {
 
 TEST(EcGeometry, GroupAssignmentPartitionsRanks) {
   const auto c = cfg(3, 2);
-  EXPECT_EQ(ec::ec_group_of(0, c), 0);
-  EXPECT_EQ(ec::ec_group_of(2, c), 0);
-  EXPECT_EQ(ec::ec_group_of(3, c), 1);
-  EXPECT_EQ(ec::ec_group_count(9, c), 3);
-  EXPECT_EQ(ec::ec_group_count(10, c), 4);  // ragged tail group
+  EXPECT_EQ(core::ec_group_of(0, c), 0);
+  EXPECT_EQ(core::ec_group_of(2, c), 0);
+  EXPECT_EQ(core::ec_group_of(3, c), 1);
+  EXPECT_EQ(core::ec_group_count(9, c), 3);
+  EXPECT_EQ(core::ec_group_count(10, c), 4);  // ragged tail group
 }
 
 TEST(EcGeometry, MembersCoverEveryRankExactlyOnce) {
   const auto c = cfg(4, 2);
   const int nranks = 14;  // ragged: groups of 4,4,4,2
   std::vector<int> seen;
-  for (int g = 0; g < ec::ec_group_count(nranks, c); ++g) {
-    for (const int m : ec::ec_group_members(g, nranks, c)) {
+  for (int g = 0; g < core::ec_group_count(nranks, c); ++g) {
+    for (const int m : core::ec_group_members(g, nranks, c)) {
       seen.push_back(m);
     }
   }
@@ -43,18 +43,18 @@ TEST(EcGeometry, MembersCoverEveryRankExactlyOnce) {
 
 TEST(EcGeometry, HoldersFollowGroupAndWrap) {
   const auto c = cfg(3, 2);
-  const auto h0 = ec::ec_parity_holders(0, 9, c);
+  const auto h0 = core::ec_parity_holders(0, 9, c);
   EXPECT_EQ(h0, (std::vector<int>{3, 4}));
-  const auto h2 = ec::ec_parity_holders(2, 9, c);  // wraps to the front
+  const auto h2 = core::ec_parity_holders(2, 9, c);  // wraps to the front
   EXPECT_EQ(h2, (std::vector<int>{0, 1}));
 }
 
 TEST(EcGeometry, HoldersDisjointFromMembersWhenFeasible) {
   const auto c = cfg(4, 2);
   const int nranks = 12;
-  for (int g = 0; g < ec::ec_group_count(nranks, c); ++g) {
-    const auto members = ec::ec_group_members(g, nranks, c);
-    for (const int h : ec::ec_parity_holders(g, nranks, c)) {
+  for (int g = 0; g < core::ec_group_count(nranks, c); ++g) {
+    const auto members = core::ec_group_members(g, nranks, c);
+    for (const int h : core::ec_parity_holders(g, nranks, c)) {
       EXPECT_EQ(std::find(members.begin(), members.end(), h), members.end())
           << "group " << g << " holder " << h;
     }
@@ -62,12 +62,12 @@ TEST(EcGeometry, HoldersDisjointFromMembersWhenFeasible) {
 }
 
 TEST(EcGeometry, KeysAreUniquePerGroupIndexEpoch) {
-  EXPECT_NE(ec::ec_parity_key(1, 0, 7), ec::ec_parity_key(1, 1, 7));
-  EXPECT_NE(ec::ec_parity_key(1, 0, 7), ec::ec_parity_key(2, 0, 7));
-  EXPECT_NE(ec::ec_parity_key(1, 0, 7), ec::ec_parity_key(1, 0, 8));
-  EXPECT_EQ(ec::ec_parity_key(1, 0, 7), ec::ec_parity_key(1, 0, 7));
-  EXPECT_NE(ec::ec_stream_key(3, 1), ec::ec_stream_key(3, 2));
-  EXPECT_NE(ec::ec_stream_key(3, 1), ec::ec_stream_key(4, 1));
+  EXPECT_NE(core::ec_parity_key(1, 0, 7), core::ec_parity_key(1, 1, 7));
+  EXPECT_NE(core::ec_parity_key(1, 0, 7), core::ec_parity_key(2, 0, 7));
+  EXPECT_NE(core::ec_parity_key(1, 0, 7), core::ec_parity_key(1, 0, 8));
+  EXPECT_EQ(core::ec_parity_key(1, 0, 7), core::ec_parity_key(1, 0, 7));
+  EXPECT_NE(core::ec_stream_key(3, 1), core::ec_stream_key(3, 2));
+  EXPECT_NE(core::ec_stream_key(3, 1), core::ec_stream_key(4, 1));
 }
 
 }  // namespace

@@ -10,14 +10,14 @@
 #include "apps/synth.hpp"
 #include "core/collrep.hpp"
 #include "ec/gf256.hpp"
-#include "ec/group_parity.hpp"
+#include "core/group_parity.hpp"
 #include "ec/reed_solomon.hpp"
 
 namespace {
 
 using namespace collrep;
-using ec::EcConfig;
-using ec::EcDumper;
+using core::EcConfig;
+using core::EcDumper;
 using ec::ReedSolomon;
 
 // -- GF(256) --------------------------------------------------------------------
@@ -205,7 +205,7 @@ INSTANTIATE_TEST_SUITE_P(Geometries, RsGeometrySweep,
 struct EcRun {
   std::vector<chunk::ChunkStore> stores;
   std::vector<std::vector<std::uint8_t>> datasets;
-  std::vector<ec::EcDumpStats> stats;
+  std::vector<core::EcDumpStats> stats;
 };
 
 EcRun run_ec_dump(int nranks, const EcConfig& cfg,
@@ -245,7 +245,7 @@ TEST(EcDump, RestoreWithNoFailures) {
   std::vector<chunk::ChunkStore*> ptrs;
   for (auto& s : run.stores) ptrs.push_back(&s);
   for (int r = 0; r < 8; ++r) {
-    const auto restored = ec::ec_restore_rank(ptrs, r, cfg);
+    const auto restored = core::ec_restore_rank(ptrs, r, cfg);
     EXPECT_EQ(restored.segments.at(0), run.datasets[static_cast<std::size_t>(r)]);
   }
 }
@@ -263,7 +263,7 @@ TEST(EcDump, RestoreSurvivesParityManyFailures) {
   run.stores[0].fail();
   run.stores[2].fail();
   for (int r = 0; r < 9; ++r) {
-    const auto restored = ec::ec_restore_rank(ptrs, r, cfg);
+    const auto restored = core::ec_restore_rank(ptrs, r, cfg);
     EXPECT_EQ(restored.segments.at(0), run.datasets[static_cast<std::size_t>(r)])
         << "rank " << r;
   }
@@ -298,7 +298,7 @@ TEST(EcDump, HybridExcludesNaturalDuplicates) {
     for (auto& s : run->stores) ptrs.push_back(&s);
     run->stores[1].fail();
     for (int r = 0; r < 6; ++r) {
-      const auto restored = ec::ec_restore_rank(ptrs, r,
+      const auto restored = core::ec_restore_rank(ptrs, r,
                                                 cfg);
       EXPECT_EQ(restored.segments.at(0),
                 run->datasets[static_cast<std::size_t>(r)]);
@@ -365,7 +365,7 @@ TEST(EcDump, LossBeyondParityIsDetected) {
   for (auto& s : run.stores) ptrs.push_back(&s);
   run.stores[0].fail();
   run.stores[1].fail();  // two failures in group 0, parity = 1
-  EXPECT_THROW((void)ec::ec_restore_rank(ptrs, 0, cfg),
+  EXPECT_THROW((void)core::ec_restore_rank(ptrs, 0, cfg),
                std::runtime_error);
 }
 

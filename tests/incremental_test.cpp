@@ -10,7 +10,7 @@
 
 #include "apps/rng.hpp"
 #include "apps/synth.hpp"
-#include "ec/group_parity.hpp"
+#include "core/group_parity.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -114,7 +114,7 @@ class EcDumpSweep : public ::testing::TestWithParam<EcSweepParam> {};
 
 TEST_P(EcDumpSweep, SurvivesParityFailuresInEveryGroup) {
   const auto [m, r, nranks] = GetParam();
-  ec::EcConfig cfg;
+  core::EcConfig cfg;
   cfg.group_size = m;
   cfg.parity = r;
   cfg.chunk_bytes = 128;
@@ -137,7 +137,7 @@ TEST_P(EcDumpSweep, SurvivesParityFailuresInEveryGroup) {
         apps::synth_dataset(rank, nranks, spec);
     chunk::Dataset ds;
     ds.add_segment(datasets[static_cast<std::size_t>(rank)]);
-    ec::EcDumper dumper(comm, stores[static_cast<std::size_t>(rank)], cfg);
+    core::EcDumper dumper(comm, stores[static_cast<std::size_t>(rank)], cfg);
     (void)dumper.dump_output(ds);
   });
 
@@ -157,9 +157,9 @@ TEST_P(EcDumpSweep, SurvivesParityFailuresInEveryGroup) {
   // Failures may straddle groups; each group sees at most r losses among
   // members+holders only in expectation — to keep the guarantee exact,
   // heal any group that lost more than r of its members+holders.
-  for (int g = 0; g < ec::ec_group_count(nranks, cfg); ++g) {
-    auto members = ec::ec_group_members(g, nranks, cfg);
-    const auto holders = ec::ec_parity_holders(g, nranks, cfg);
+  for (int g = 0; g < core::ec_group_count(nranks, cfg); ++g) {
+    auto members = core::ec_group_members(g, nranks, cfg);
+    const auto holders = core::ec_parity_holders(g, nranks, cfg);
     members.insert(members.end(), holders.begin(), holders.end());
     int lost = 0;
     for (const int rank : members) {
@@ -173,7 +173,7 @@ TEST_P(EcDumpSweep, SurvivesParityFailuresInEveryGroup) {
   }
 
   for (int rank = 0; rank < nranks; ++rank) {
-    const auto restored = ec::ec_restore_rank(ptrs, rank, cfg);
+    const auto restored = core::ec_restore_rank(ptrs, rank, cfg);
     EXPECT_EQ(restored.segments.at(0),
               datasets[static_cast<std::size_t>(rank)])
         << "m=" << m << " r=" << r << " n=" << nranks << " rank=" << rank;

@@ -1,0 +1,84 @@
+#include "baseline.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace collcheck {
+
+bool Baseline::suppresses(const Finding& f) const {
+  for (const BaselineEntry& e : entries) {
+    if (e.rule != f.rule || e.file != f.file) continue;
+    if (e.line != 0 && e.line != f.line) continue;
+    e.used = true;
+    return true;
+  }
+  return false;
+}
+
+std::vector<const BaselineEntry*> Baseline::unused() const {
+  std::vector<const BaselineEntry*> out;
+  for (const BaselineEntry& e : entries) {
+    if (!e.used) out.push_back(&e);
+  }
+  return out;
+}
+
+Baseline load_baseline(const std::string& path,
+                       std::vector<std::string>& errors) {
+  Baseline bl;
+  std::ifstream in(path);
+  if (!in) return bl;  // missing baseline == empty baseline
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip trailing comment and whitespace.
+    std::string note;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) {
+      note = raw.substr(hash + 1);
+      while (!note.empty() && note.front() == ' ') note.erase(0, 1);
+      raw.erase(hash);
+    }
+    std::istringstream ls(raw);
+    std::string rule, loc;
+    if (!(ls >> rule)) continue;  // blank or comment-only line
+    if (!(ls >> loc)) {
+      errors.push_back(path + ":" + std::to_string(lineno) +
+                       ": baseline entry is missing its path:line field");
+      continue;
+    }
+    const auto colon = loc.rfind(':');
+    if (colon == std::string::npos) {
+      errors.push_back(path + ":" + std::to_string(lineno) +
+                       ": expected `RULE path:line` (use `path:*` to match "
+                       "any line)");
+      continue;
+    }
+    BaselineEntry e;
+    e.rule = rule;
+    e.file = loc.substr(0, colon);
+    const std::string linepart = loc.substr(colon + 1);
+    if (linepart == "*") {
+      e.line = 0;
+    } else {
+      try {
+        e.line = std::stoi(linepart);
+      } catch (...) {
+        errors.push_back(path + ":" + std::to_string(lineno) +
+                         ": bad line number '" + linepart + "'");
+        continue;
+      }
+      if (e.line <= 0) {
+        errors.push_back(path + ":" + std::to_string(lineno) +
+                         ": line numbers are 1-based");
+        continue;
+      }
+    }
+    e.note = std::move(note);
+    bl.entries.push_back(std::move(e));
+  }
+  return bl;
+}
+
+}  // namespace collcheck

@@ -1,0 +1,39 @@
+// collcheck baseline: a checked-in list of intentional exceptions.  Each
+// line is `RULE path:line  # justification` (the justification is
+// mandatory by convention, enforced in review).  `path:*` matches any
+// line in the file, for findings whose line drifts with unrelated edits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace collcheck {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  int line = 0;        // 0 == wildcard (`path:*`)
+  std::string note;    // text after '#'
+  mutable bool used = false;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  // True (and marks the entry used) when `f` matches an entry.
+  [[nodiscard]] bool suppresses(const Finding& f) const;
+
+  // Entries that never matched a finding — stale baseline lines that
+  // should be deleted.  Reported as a warning, not a failure.
+  [[nodiscard]] std::vector<const BaselineEntry*> unused() const;
+};
+
+// Parse a baseline file.  Unknown/garbled lines are collected into
+// `errors` (one message per bad line); blank lines and `#` comments are
+// skipped.
+[[nodiscard]] Baseline load_baseline(const std::string& path,
+                                     std::vector<std::string>& errors);
+
+}  // namespace collcheck

@@ -1,0 +1,17 @@
+// Seeded true positives for CC-BANNED-FUNC.  Unlike the determinism rules,
+// banned C functions are flagged in every layer, including harness code
+// like this fixture's own (tools-ranked) path.
+#include <cstdio>
+#include <cstring>
+
+namespace fx {
+
+void copy_name(char* dst, const char* src) {
+  strcpy(dst, src);  // expect CC-BANNED-FUNC line 10
+}
+
+void format_id(char* buf, int id) {
+  sprintf(buf, "%d", id);  // expect CC-BANNED-FUNC line 14
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Clean negative showing the determinism rules' scoping: harness layers
+// (tools/tests/bench) may use wall clocks and std::random_device freely —
+// only simulated components are held to the determinism bar.
+#include <chrono>
+#include <random>
+
+namespace fx {
+
+double harness_wall_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+unsigned harness_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Seeded true positives for CC-NONDET-CLOCK: wall-clock sources inside a
+// simulated component ("src/core" in this fixture tree).
+#include <chrono>
+
+namespace fx {
+
+double wall_now() {
+  const auto t = std::chrono::system_clock::now();  // expect line 8
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double wall_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect line 13
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Seeded true positives for CC-NONDET-RAND: hardware entropy, an unseeded
+// engine, and the C global-state generator — all inside a sim component.
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+
+unsigned entropy_seed() {
+  std::random_device rd;  // expect CC-NONDET-RAND line 9
+  return rd();
+}
+
+int default_engine_draw() {
+  std::mt19937 gen;  // expect CC-NONDET-RAND line 14
+  return static_cast<int>(gen());
+}
+
+int libc_draw() {
+  return rand();  // expect CC-NONDET-RAND line 19
+}
+
+}  // namespace fx

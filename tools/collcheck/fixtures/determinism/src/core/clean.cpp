@@ -1,0 +1,17 @@
+// Clean negative for the determinism family: a deterministically seeded
+// engine and snprintf-based formatting inside a sim component.
+#include <cstdio>
+#include <random>
+
+namespace fx {
+
+int seeded_draw(unsigned seed, int rank) {
+  std::mt19937 gen(seed + static_cast<unsigned>(rank));
+  return static_cast<int>(gen());
+}
+
+void format_id(char* buf, std::size_t n, int id) {
+  std::snprintf(buf, n, "%d", id);
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Seeded true positives for the divergent-collective rule (CC-COLL-DIV).
+// Not compiled; scanned by collcheck_test with --include-fixtures.
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx {
+
+// Only rank 0 reaches the bcast: every other rank hangs in whatever
+// collective it meets next.
+void rank_guarded_bcast(collrep::simmpi::Comm& comm) {
+  int value = 41;
+  if (comm.rank() == 0) {
+    collrep::simmpi::bcast(comm, value, 0);  // expect CC-COLL-DIV line 13
+  }
+}
+
+// The classic shape: a rank-guarded early return makes everything after it
+// rank-divergent, including the barrier.
+void early_return_then_barrier(collrep::simmpi::Comm& comm) {
+  if (comm.rank() != 0) {
+    return;
+  }
+  comm.barrier();  // expect CC-COLL-DIV line 23
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Seeded true positive for the inter-procedural divergent-collective rule
+// (CC-COLL-DIV-CALL): the collective hides one call level down.
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx {
+
+void sync_and_publish(collrep::simmpi::Comm& comm, int& value) {
+  collrep::simmpi::bcast(comm, value, 0);
+}
+
+void leader_only_publish(collrep::simmpi::Comm& comm) {
+  int value = 7;
+  const int me = comm.rank();
+  if (me == 0) {
+    sync_and_publish(comm, value);  // expect CC-COLL-DIV-CALL line 16
+  }
+}
+
+}  // namespace fx

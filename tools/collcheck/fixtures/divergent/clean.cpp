@@ -1,0 +1,36 @@
+// Clean negative for the divergent-collective family: unconditional
+// collectives, with rank-dependent control flow guarding only point-to-point
+// traffic and local work.  collcheck must report nothing here.
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx {
+
+void all_ranks_collectives(collrep::simmpi::Comm& comm) {
+  int value = comm.rank();
+  collrep::simmpi::bcast(comm, value, 0);
+  comm.barrier();
+  const int total = collrep::simmpi::allreduce_sum(comm, value);
+  (void)total;
+}
+
+// Rank-guarded p2p is the normal root/leaf pattern and must not fire.
+void root_sends_leaves_receive(collrep::simmpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    for (int r = 1; r < comm.size(); ++r) {
+      comm.send_value(r, 9, r * 2);
+    }
+  } else {
+    (void)comm.recv_value<int>(0, 9);
+  }
+  comm.barrier();
+}
+
+// An inline allow suppresses a deliberate divergence.
+void acknowledged_divergence(collrep::simmpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // collcheck:allow(CC-COLL-DIV)
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Clean negative for the layering family: core (rank 4) including strictly
+// lower layers, plus system headers and a same-component sibling — all
+// legal include edges.
+#pragma once
+#include <vector>
+
+#include "core/dump.hpp"
+#include "chunk/store.hpp"
+#include "hash/hasher.hpp"
+#include "simmpi/comm.hpp"

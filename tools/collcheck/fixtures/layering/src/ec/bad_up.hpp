@@ -1,0 +1,5 @@
+// Seeded true positive for CC-LAYER-UP: ec (rank 1) must not reach up into
+// core (rank 4).
+#pragma once
+#include "core/group_parity.hpp"  // expect CC-LAYER-UP line 4
+#include "kernels/dispatch.hpp"

@@ -1,0 +1,4 @@
+// Seeded true positive for CC-LAYER-CROSS: hash and ec sit at the same
+// rank and must stay independent of each other.
+#pragma once
+#include "ec/gf256.hpp"  // expect CC-LAYER-CROSS line 4

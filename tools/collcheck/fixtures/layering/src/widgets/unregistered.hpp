@@ -1,0 +1,4 @@
+// Seeded true positive for CC-LAYER-UNKNOWN: a src/ component the layer
+// table has never heard of.  Expect CC-LAYER-UNKNOWN at line 1.
+#pragma once
+struct Widget {};

@@ -1,0 +1,24 @@
+// Seeded true positives for CC-RMA-NOEPOCH (a put on a window whose epoch
+// was never opened in this function) and CC-RMA-FLAG (fence flags that are
+// neither 0 nor a named kFence* constant).
+#include "simmpi/check_hook.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx {
+
+void put_into_borrowed_window(collrep::simmpi::Comm& comm,
+                              collrep::simmpi::Window& win) {
+  const std::vector<std::uint8_t> data(4, 0x11);
+  (void)comm;
+  win.put(0, 0, data);  // expect CC-RMA-NOEPOCH line 13
+}
+
+void fence_with_magic_flags(collrep::simmpi::Comm& comm) {
+  auto win = comm.win_create(32);
+  const std::vector<std::uint8_t> data(4, 0x22);
+  win.put(1, 0, data);
+  win.fence(3);  // expect CC-RMA-FLAG line 20
+  win.free();
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Seeded true positive for CC-RMA-NOSUCCEED: a put lands after
+// fence(kFenceNoSucceed) already declared the final access epoch.
+#include "simmpi/check_hook.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx {
+
+void put_after_final_fence(collrep::simmpi::Comm& comm) {
+  auto win = comm.win_create(64);
+  const std::vector<std::uint8_t> data(8, 0xEE);
+  win.put(1, 0, data);
+  win.fence(collrep::simmpi::kFenceNoSucceed);
+  win.put(1, 8, data);  // expect CC-RMA-NOSUCCEED line 13
+  win.free();
+}
+
+}  // namespace fx

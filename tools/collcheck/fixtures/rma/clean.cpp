@@ -1,0 +1,28 @@
+// Clean negative for the RMA family: the canonical epoch lifecycle
+// (win_create opens, fence separates epochs, kFenceNoSucceed closes the
+// last one, free releases).  Also shows `.put` on a non-window receiver,
+// which must not be mistaken for RMA.
+#include "simmpi/check_hook.hpp"
+#include "simmpi/comm.hpp"
+
+namespace fx {
+
+struct KvStore {
+  void put(int key, int value);
+};
+
+void canonical_epoch(collrep::simmpi::Comm& comm) {
+  auto win = comm.win_create(128);
+  const std::vector<std::uint8_t> data(16, 0xAB);
+  win.put(1, 0, data);
+  win.fence();
+  win.put(1, 16, data);
+  win.fence(collrep::simmpi::kFenceNoSucceed);
+  win.free();
+}
+
+void store_put_is_not_rma(KvStore& store) {
+  store.put(1, 2);
+}
+
+}  // namespace fx

@@ -1,0 +1,233 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace collcheck {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Two-character punctuators collcheck cares about keeping whole.  Longer
+// ones (<<=, ...) are irrelevant to the rules and may split.
+[[nodiscard]] bool two_char_punct(char a, char b) {
+  static constexpr std::array<const char*, 19> kOps = {
+      "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+      "&&", "||", "+=", "-=", "*=", "/=", "|=", "&=", "^="};
+  for (const char* op : kOps) {
+    if (op[0] == a && op[1] == b) return true;
+  }
+  return false;
+}
+
+// Scan a `collcheck:allow(ID[,ID...])` marker inside comment text.
+void scan_allow(std::string_view comment, int line, LexedFile& out) {
+  constexpr std::string_view kTag = "collcheck:allow(";
+  const auto pos = comment.find(kTag);
+  if (pos == std::string_view::npos) return;
+  const auto open = pos + kTag.size();
+  const auto close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(open, close - open);
+  auto& rules = out.allows[line];
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    std::string_view id = list.substr(0, comma);
+    while (!id.empty() && id.front() == ' ') id.remove_prefix(1);
+    while (!id.empty() && id.back() == ' ') id.remove_suffix(1);
+    if (!id.empty()) rules.emplace(id);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+}  // namespace
+
+bool is_cpp_keyword(std::string_view s) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "alignas",   "alignof",  "asm",        "auto",      "bool",
+      "break",     "case",     "catch",      "char",      "class",
+      "const",     "consteval","constexpr",  "constinit", "const_cast",
+      "continue",  "co_await", "co_return",  "co_yield",  "decltype",
+      "default",   "delete",   "do",         "double",    "dynamic_cast",
+      "else",      "enum",     "explicit",   "export",    "extern",
+      "false",     "float",    "for",        "friend",    "goto",
+      "if",        "inline",   "int",        "long",      "mutable",
+      "namespace", "new",      "noexcept",   "nullptr",   "operator",
+      "private",   "protected","public",     "register",  "reinterpret_cast",
+      "requires",  "return",   "short",      "signed",    "sizeof",
+      "static",    "static_assert",          "static_cast","struct",
+      "switch",    "template", "this",       "thread_local","throw",
+      "true",      "try",      "typedef",    "typeid",    "typename",
+      "union",     "unsigned", "using",      "virtual",   "void",
+      "volatile",  "wchar_t",  "while",      "concept"};
+  return kKeywords.contains(s);
+}
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  const auto advance_line = [&] { ++line; at_line_start = true; };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      advance_line();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      scan_allow(src.substr(start, i - start), line, out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') advance_line();
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      scan_allow(src.substr(start, i - start), start_line, out);
+      continue;
+    }
+
+    // Preprocessor directive: consume the (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      const int dir_line = line;
+      std::size_t j = i;
+      std::string dir;
+      while (j < n) {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          advance_line();
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') break;
+        dir.push_back(src[j]);
+        ++j;
+      }
+      // Parse `#include "path"` / `#include <path>`.
+      std::size_t k = 1;  // past '#'
+      while (k < dir.size() && (dir[k] == ' ' || dir[k] == '\t')) ++k;
+      if (dir.compare(k, 7, "include") == 0) {
+        k += 7;
+        while (k < dir.size() && (dir[k] == ' ' || dir[k] == '\t')) ++k;
+        if (k < dir.size() && (dir[k] == '"' || dir[k] == '<')) {
+          const char closer = dir[k] == '"' ? '"' : '>';
+          const bool angled = dir[k] == '<';
+          const auto end = dir.find(closer, k + 1);
+          if (end != std::string::npos) {
+            out.includes.push_back(IncludeDirective{
+                dir.substr(k + 1, end - k - 1), dir_line, angled});
+          }
+        }
+      }
+      i = j;
+      continue;
+    }
+
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && delim.size() < 16) {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const auto end = src.find(closer, j);
+      out.tokens.push_back(Token{TokKind::kString, {}, line});
+      const std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + closer.size();
+      for (std::size_t p = i; p < stop; ++p) {
+        if (src[p] == '\n') advance_line();
+      }
+      at_line_start = false;
+      i = stop;
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          ++j;  // skip escaped char
+        } else if (src[j] == '\n') {
+          break;  // unterminated; bail at EOL
+        }
+        ++j;
+      }
+      out.tokens.push_back(Token{
+          quote == '"' ? TokKind::kString : TokKind::kChar, {}, line});
+      i = (j < n && src[j] == quote) ? j + 1 : j;
+      continue;
+    }
+
+    // Identifier.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back(
+          Token{TokKind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Number (pp-number: digits, letters, dots, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{TokKind::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation.
+    if (i + 1 < n && two_char_punct(c, src[i + 1])) {
+      out.tokens.push_back(
+          Token{TokKind::kPunct, std::string(src.substr(i, 2)), line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace collcheck

@@ -1,0 +1,54 @@
+// collcheck lexer: a comment/string/preprocessor-aware tokenizer for the
+// repo's C++ sources.  It is deliberately NOT a full C++ lexer — collcheck
+// only needs identifiers, punctuation, and accurate line numbers, with
+// string/char literals collapsed to opaque tokens (so a banned function
+// name inside a log message never fires) and preprocessor lines captured
+// separately (so `#include "..."` edges feed the layering rule without
+// polluting the token stream).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace collcheck {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (pp-numbers, good enough)
+  kString,  // string literal (including raw strings), text dropped
+  kChar,    // character literal, text dropped
+  kPunct,   // operators/punctuation; multi-char ops kept together
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // empty for kString/kChar
+  int line;
+};
+
+struct IncludeDirective {
+  std::string path;  // the quoted path, verbatim
+  int line;
+  bool angled;  // <...> system include (ignored by the layering rule)
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  // line -> rule ids allowed by a `collcheck:allow(RULE[,RULE...])` comment
+  // on that line.  An allow comment suppresses matching findings on its own
+  // line and on the immediately following line (comment-above style).
+  std::unordered_map<int, std::unordered_set<std::string>> allows;
+};
+
+// Tokenize `source`.  Never throws on malformed input: unterminated
+// comments/literals simply end the token stream (collcheck is a linter,
+// not a compiler; the real build rejects such files).
+[[nodiscard]] LexedFile lex(std::string_view source);
+
+[[nodiscard]] bool is_cpp_keyword(std::string_view s);
+
+}  // namespace collcheck

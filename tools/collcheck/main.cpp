@@ -1,0 +1,139 @@
+// collcheck CLI.
+//
+//   collcheck [options] PATH...
+//
+//   --repo-root DIR      root for relative paths and path normalization
+//                        (default: current directory)
+//   --baseline FILE      intentional-exception list (default: none)
+//   --sarif FILE         also write findings as SARIF 2.1.0
+//   --include-fixtures   scan directories named "fixtures" too
+//   --list-rules         print the rule catalog and exit
+//
+// Exit codes: 0 clean (all findings baselined), 1 unbaselined findings,
+// 2 usage or I/O error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "baseline.hpp"
+#include "sarif.hpp"
+
+namespace {
+
+constexpr const char* kVersion = "0.5.0";
+
+int usage(std::ostream& os, int code) {
+  os << "usage: collcheck [--repo-root DIR] [--baseline FILE] "
+        "[--sarif FILE]\n"
+        "                 [--include-fixtures] [--list-rules] PATH...\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string repo_root = ".";
+  std::string baseline_path;
+  std::string sarif_path;
+  collcheck::AnalyzerOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "collcheck: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--repo-root") {
+      const char* v = need_value("--repo-root");
+      if (v == nullptr) return usage(std::cerr, 2);
+      repo_root = v;
+    } else if (arg == "--baseline") {
+      const char* v = need_value("--baseline");
+      if (v == nullptr) return usage(std::cerr, 2);
+      baseline_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = need_value("--sarif");
+      if (v == nullptr) return usage(std::cerr, 2);
+      sarif_path = v;
+    } else if (arg == "--include-fixtures") {
+      options.include_fixtures = true;
+    } else if (arg == "--list-rules") {
+      for (const collcheck::RuleInfo& r : collcheck::rule_catalog()) {
+        std::cout << r.id << "\n  " << r.summary << "\n  fix: " << r.hint
+                  << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "collcheck: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "collcheck: no paths to analyze\n";
+    return usage(std::cerr, 2);
+  }
+
+  std::vector<std::string> baseline_errors;
+  collcheck::Baseline baseline;
+  if (!baseline_path.empty()) {
+    baseline = collcheck::load_baseline(baseline_path, baseline_errors);
+    for (const std::string& e : baseline_errors) {
+      std::cerr << "collcheck: " << e << "\n";
+    }
+    if (!baseline_errors.empty()) return 2;
+  }
+
+  const collcheck::AnalysisResult result =
+      collcheck::analyze_paths(paths, repo_root, options);
+
+  std::vector<collcheck::Finding> active;
+  int suppressed = 0;
+  for (const collcheck::Finding& f : result.findings) {
+    if (baseline.suppresses(f)) {
+      ++suppressed;
+    } else {
+      active.push_back(f);
+    }
+  }
+
+  for (const collcheck::Finding& f : active) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "collcheck: cannot write SARIF to '" << sarif_path
+                << "'\n";
+      return 2;
+    }
+    out << collcheck::to_sarif(active, kVersion);
+  }
+
+  for (const collcheck::BaselineEntry* e : baseline.unused()) {
+    std::cerr << "collcheck: warning: stale baseline entry " << e->rule
+              << " " << e->file << ":"
+              << (e->line == 0 ? std::string("*") : std::to_string(e->line))
+              << " no longer matches any finding; delete it\n";
+  }
+
+  std::cerr << "collcheck: " << result.files.size() << " files, "
+            << active.size() << " finding" << (active.size() == 1 ? "" : "s")
+            << (suppressed != 0
+                    ? " (" + std::to_string(suppressed) + " baselined)"
+                    : "")
+            << "\n";
+  return active.empty() ? 0 : 1;
+}

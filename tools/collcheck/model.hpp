@@ -1,0 +1,74 @@
+// collcheck data model: rules, findings, per-file and per-function
+// summaries.  See DESIGN.md §10 for the rule catalog and the layer DAG
+// this encodes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace collcheck {
+
+// Rule identifiers.  Stable strings: they appear in baselines, inline
+// allow comments, SARIF output, and the test suite.
+inline constexpr std::string_view kRuleCollDiv = "CC-COLL-DIV";
+inline constexpr std::string_view kRuleCollDivCall = "CC-COLL-DIV-CALL";
+inline constexpr std::string_view kRuleRmaNoEpoch = "CC-RMA-NOEPOCH";
+inline constexpr std::string_view kRuleRmaNoSucceed = "CC-RMA-NOSUCCEED";
+inline constexpr std::string_view kRuleRmaFlag = "CC-RMA-FLAG";
+inline constexpr std::string_view kRuleLayerUp = "CC-LAYER-UP";
+inline constexpr std::string_view kRuleLayerCross = "CC-LAYER-CROSS";
+inline constexpr std::string_view kRuleLayerUnknown = "CC-LAYER-UNKNOWN";
+inline constexpr std::string_view kRuleNondetClock = "CC-NONDET-CLOCK";
+inline constexpr std::string_view kRuleNondetRand = "CC-NONDET-RAND";
+inline constexpr std::string_view kRuleBannedFunc = "CC-BANNED-FUNC";
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+  std::string_view hint;
+};
+
+// The full catalog, in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-root-relative path
+  int line = 0;
+  std::string message;
+};
+
+// One call site inside a function body.
+struct CallSite {
+  std::string name;       // callee identifier
+  std::string receiver;   // `x` in `x.name(...)`, empty for free calls
+  std::string qualifier;  // `ns` in `ns::name(...)`, empty otherwise
+  bool method = false;    // preceded by `.` or `->`
+  int line = 0;
+  bool rank_conditional = false;  // under rank-derived control flow
+};
+
+// Per-function summary extracted by the parser.
+struct FunctionInfo {
+  std::string name;       // unqualified name (last identifier)
+  int line = 0;           // line of the opening parenthesis
+  std::size_t body_begin = 0;  // token index of `{`
+  std::size_t body_end = 0;    // token index one past matching `}`
+  std::vector<CallSite> calls;
+  // Filled by the collective analysis:
+  bool has_direct_collective = false;
+  bool collective_bearing = false;  // transitively reaches a collective
+};
+
+struct FileUnit {
+  std::string path;       // repo-root-relative, forward slashes
+  std::string component;  // layer component ("core", "tests", ...)
+  LexedFile lexed;
+  std::vector<FunctionInfo> functions;
+};
+
+}  // namespace collcheck

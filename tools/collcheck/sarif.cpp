@@ -1,0 +1,92 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace collcheck {
+
+namespace {
+
+// JSON string escaping (control chars, quote, backslash).
+std::string jesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::string& tool_version) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"collcheck\",\n"
+     << "          \"version\": \"" << jesc(tool_version) << "\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/collrep/tools/collcheck\",\n"
+     << "          \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const RuleInfo& r = catalog[i];
+    os << "            {\n"
+       << "              \"id\": \"" << r.id << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << jesc(std::string(r.summary)) << "\" },\n"
+       << "              \"help\": { \"text\": \""
+       << jesc(std::string(r.hint)) << "\" }\n"
+       << "            }" << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << jesc(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << jesc(f.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << jesc(f.file) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << f.line
+       << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace collcheck

@@ -1,0 +1,17 @@
+// Minimal SARIF 2.1.0 writer for collcheck findings, enough for GitHub
+// code-scanning upload and artifact archival.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace collcheck {
+
+// Serialize `findings` as a single-run SARIF log.  `tool_version` lands in
+// the driver block.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings,
+                                   const std::string& tool_version);
+
+}  // namespace collcheck
