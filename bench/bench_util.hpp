@@ -21,6 +21,7 @@
 #include "apps/minicm.hpp"
 #include "core/collrep.hpp"
 #include "ftrt/checkpoint.hpp"
+#include "obs/profile.hpp"
 #include "obs/telemetry.hpp"
 
 namespace collrep::bench {
@@ -30,6 +31,10 @@ namespace collrep::bench {
 // Every fig/ablation binary accepts
 //   --trace=<file>     Chrome trace-event JSON (load in Perfetto)
 //   --metrics=<file>   MetricsRegistry JSON (counters/gauges/histograms)
+//   --profile=<file>   collprof critical-path profile JSON (built in-process
+//                      from the same events; see src/obs/profile.hpp).  The
+//                      flag also raises the per-rank trace-ring capacity so
+//                      the happens-before DAG stays complete.
 // Telemetry stays off (null pointer, zero recording cost) unless at least
 // one flag is present.  Construct one TelemetryScope at the top of main();
 // the files are written when it leaves scope.
@@ -51,10 +56,18 @@ class TelemetryScope {
         trace_path_ = arg + 8;
       } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
         metrics_path_ = arg + 10;
+      } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+        profile_path_ = arg + 10;
       }
     }
-    if (!trace_path_.empty() || !metrics_path_.empty()) {
-      telemetry_slot() = std::make_unique<obs::Telemetry>();
+    if (!trace_path_.empty() || !metrics_path_.empty() ||
+        !profile_path_.empty()) {
+      obs::TelemetryConfig cfg;
+      if (!profile_path_.empty()) {
+        // Profiling needs every event of every dump: 8x the default ring.
+        cfg.trace_capacity = std::size_t{1} << 17;
+      }
+      telemetry_slot() = std::make_unique<obs::Telemetry>(cfg);
     }
   }
 
@@ -69,6 +82,18 @@ class TelemetryScope {
         write_file(metrics_path_, t->metrics().to_json());
       }
       if (!trace_path_.empty()) write_file(trace_path_, t->trace_json());
+      if (!profile_path_.empty()) {
+        const obs::Profile profile =
+            obs::build_profile(obs::collect_events(*t), t->dropped_events());
+        if (profile.dropped_events != 0) {
+          std::fprintf(stderr,
+                       "telemetry: warning: %llu trace events dropped; the "
+                       "profile's happens-before DAG is incomplete\n",
+                       static_cast<unsigned long long>(
+                           profile.dropped_events));
+        }
+        write_file(profile_path_, obs::profile_json(profile));
+      }
     }
     telemetry_slot().reset();
   }
@@ -89,6 +114,7 @@ class TelemetryScope {
 
   std::string trace_path_;
   std::string metrics_path_;
+  std::string profile_path_;
 };
 
 enum class App { kHpccg, kCm1 };

@@ -24,6 +24,11 @@ struct PhaseClock {
     comm.barrier();
     mark = comm.clock().now();
     start = mark;
+    if (auto* t = comm.obs()) {
+      // Wrapper span around the whole pipeline: collprof extracts the
+      // critical path of each "dump" interval (DESIGN.md §11).
+      t->event(obs::EventKind::kPhaseBegin, mark, "dump");
+    }
     open(first_phase);
   }
   // Ends the current phase at a barrier so the recorded duration is the
@@ -31,14 +36,22 @@ struct PhaseClock {
   // lifetime, nullptr at the end of the pipeline) names the phase the
   // trace enters next.
   double lap(const char* next_phase = nullptr) {
+    if (auto* t = comm.obs()) {
+      // Recorded *before* the closing barrier: the span is this rank's own
+      // work time, so the gap to the next kPhaseBegin is its barrier wait
+      // and the spread across ranks is the phase's straggler skew.
+      t->event(obs::EventKind::kPhaseEnd, comm.clock().now(), current);
+    }
     comm.barrier();
     const double now = comm.clock().now();
-    if (auto* t = comm.obs()) {
-      t->event(obs::EventKind::kPhaseEnd, now, current);
-    }
     const double d = now - mark;
     mark = now;
     open(next_phase);
+    if (next_phase == nullptr) {
+      if (auto* t = comm.obs()) {
+        t->event(obs::EventKind::kPhaseEnd, now, "dump");
+      }
+    }
     return d;
   }
   void open(const char* phase) {

@@ -15,31 +15,24 @@
 
 namespace collrep::obs {
 
-// Collective shapes implemented in simmpi/collectives.hpp.
+// Collective shapes implemented in simmpi/collectives.hpp, generated from
+// the shared registry (obs/collectives.def) so the list has one definition.
 enum class CollectiveKind : std::uint8_t {
-  kBcast = 0,
-  kReduce,
-  kAllreduce,
-  kGather,
-  kScatter,
-  kAllgather,
+#define COLLREP_COLLECTIVE_OBS(Name, str) k##Name,
+#include "obs/collectives.def"
 };
-inline constexpr std::size_t kCollectiveKindCount = 6;
+
+inline constexpr std::size_t kCollectiveKindCount = 0
+#define COLLREP_COLLECTIVE_OBS(Name, str) +1
+#include "obs/collectives.def"
+    ;
 
 [[nodiscard]] constexpr const char* to_string(CollectiveKind k) noexcept {
   switch (k) {
-    case CollectiveKind::kBcast:
-      return "bcast";
-    case CollectiveKind::kReduce:
-      return "reduce";
-    case CollectiveKind::kAllreduce:
-      return "allreduce";
-    case CollectiveKind::kGather:
-      return "gather";
-    case CollectiveKind::kScatter:
-      return "scatter";
-    case CollectiveKind::kAllgather:
-      return "allgather";
+#define COLLREP_COLLECTIVE_OBS(Name, str) \
+  case CollectiveKind::k##Name:           \
+    return str;
+#include "obs/collectives.def"
   }
   return "unknown";
 }

@@ -1,0 +1,616 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "obs/telemetry.hpp"
+
+namespace collrep::obs {
+
+std::int64_t to_ticks(double seconds) {
+  // Same rounding as trace_json()'s append_ts: fixed-precision microseconds
+  // (3 decimals == nanosecond ticks), re-parsed.  Going through the string
+  // guarantees tick equality between a live profile and a file round trip.
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return std::llround(std::strtod(buf, nullptr) * 1000.0);
+}
+
+std::vector<ProfEvent> collect_events(const Telemetry& tel) {
+  std::vector<ProfEvent> out;
+  for (int r = 0; r < tel.rank_count(); ++r) {
+    for (const TraceEvent& ev : tel.rank(r).trace.snapshot()) {
+      out.push_back(ProfEvent{ev.kind, r, ev.run, to_ticks(ev.ts),
+                              std::string(ev.name), ev.a, ev.b, ev.c});
+    }
+  }
+  return out;
+}
+
+const char* to_string(SegmentKind k) noexcept {
+  switch (k) {
+    case SegmentKind::kCompute:
+      return "compute";
+    case SegmentKind::kCommWait:
+      return "comm_wait";
+    case SegmentKind::kBarrierWait:
+      return "barrier_wait";
+    case SegmentKind::kFenceWait:
+      return "fence_wait";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Position of one event: (rank, index into that rank's recording-order list).
+struct EvRef {
+  int rank = -1;
+  std::size_t pos = 0;
+};
+
+struct SyncGroup {
+  std::vector<EvRef> begins;
+  std::vector<EvRef> ends;
+};
+
+// One run's events re-indexed for DAG traversal.
+struct RunData {
+  std::vector<std::vector<std::size_t>> by_rank;  // -> index into `events`
+  std::unordered_map<std::uint64_t, EvRef> sends;
+  std::unordered_map<std::uint64_t, EvRef> recvs;
+  std::unordered_map<std::uint64_t, SyncGroup> syncs;
+};
+
+struct PhaseMark {
+  std::string name;
+  std::int64_t b_ns = 0;
+};
+
+// Per-rank view of one dump instance.
+struct RankDump {
+  std::size_t begin_pos = 0;  // position of the "dump" kPhaseBegin
+  std::size_t end_pos = 0;    // position of the "dump" kPhaseEnd
+  std::vector<PhaseMark> marks;
+  std::map<std::string, std::int64_t> work_ns;  // phase -> B..E duration
+};
+
+const std::string& phase_at(const std::vector<PhaseMark>& marks,
+                            std::int64_t t) {
+  static const std::string kNone = "dump";
+  if (marks.empty()) return kNone;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    if (marks[i].b_ns <= t) best = i;
+  }
+  return marks[best].name;
+}
+
+std::int64_t percentile(std::vector<std::int64_t> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+// Ticks -> seconds with 9 decimals: exact for any |ns| < 2^53 / 1e9 s.
+void append_seconds(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9f", static_cast<double>(ns) * 1e-9);
+  out += buf;
+}
+
+// Ticks -> trace microseconds, same 3-decimal rendering as trace_json().
+void append_ts_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) >= 0x20) {
+      out += ch;
+    }  // control characters never appear in event names; drop defensively
+  }
+}
+
+}  // namespace
+
+Profile build_profile(const std::vector<ProfEvent>& events,
+                      std::uint64_t dropped_events) {
+  Profile prof;
+  prof.dropped_events = dropped_events;
+
+  // ---- index the events per run ------------------------------------------
+  std::map<std::uint32_t, RunData> runs;  // ordered: dumps come out run-sorted
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ProfEvent& e = events[i];
+    RunData& rd = runs[e.run];
+    if (rd.by_rank.size() <= static_cast<std::size_t>(e.rank)) {
+      rd.by_rank.resize(static_cast<std::size_t>(e.rank) + 1);
+    }
+    auto& lane = rd.by_rank[static_cast<std::size_t>(e.rank)];
+    const EvRef ref{e.rank, lane.size()};
+    lane.push_back(i);
+    switch (e.kind) {
+      case EventKind::kSend:
+        rd.sends.emplace(e.c, ref);
+        break;
+      case EventKind::kRecv:
+        rd.recvs.emplace(e.c, ref);
+        break;
+      case EventKind::kSyncBegin:
+        rd.syncs[e.c].begins.push_back(ref);
+        break;
+      case EventKind::kSyncEnd:
+        rd.syncs[e.c].ends.push_back(ref);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (auto& [run, rd] : runs) {
+    const auto ev_at = [&](const EvRef& r) -> const ProfEvent& {
+      return events[rd.by_rank[static_cast<std::size_t>(r.rank)][r.pos]];
+    };
+    const int nranks = static_cast<int>(rd.by_rank.size());
+
+    for (const auto& [flow, ref] : rd.sends) {
+      if (rd.recvs.find(flow) == rd.recvs.end()) ++prof.unmatched_flows;
+    }
+    for (const auto& [flow, ref] : rd.recvs) {
+      if (rd.sends.find(flow) == rd.sends.end()) ++prof.unmatched_flows;
+    }
+    for (const auto& [gen, group] : rd.syncs) {
+      if (group.begins.size() != static_cast<std::size_t>(nranks) ||
+          group.ends.size() != static_cast<std::size_t>(nranks)) {
+        ++prof.unmatched_syncs;
+      }
+    }
+
+    // ---- find the dump windows on every rank -----------------------------
+    std::vector<std::vector<RankDump>> dumps_by_rank(
+        static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      const auto& lane = rd.by_rank[static_cast<std::size_t>(r)];
+      std::vector<RankDump>& windows = dumps_by_rank[static_cast<std::size_t>(r)];
+      std::int64_t open_pos = -1;
+      for (std::size_t p = 0; p < lane.size(); ++p) {
+        const ProfEvent& e = events[lane[p]];
+        if (e.kind == EventKind::kPhaseBegin && e.name == "dump") {
+          open_pos = static_cast<std::int64_t>(p);
+        } else if (e.kind == EventKind::kPhaseEnd && e.name == "dump" &&
+                   open_pos >= 0) {
+          RankDump w;
+          w.begin_pos = static_cast<std::size_t>(open_pos);
+          w.end_pos = p;
+          // Phase marks + per-phase work time inside the window.
+          std::string pending;
+          std::int64_t pending_b = 0;
+          for (std::size_t q = w.begin_pos + 1; q < w.end_pos; ++q) {
+            const ProfEvent& pe = events[lane[q]];
+            if (pe.kind == EventKind::kPhaseBegin && pe.name != "dump") {
+              w.marks.push_back(PhaseMark{pe.name, pe.ts_ns});
+              pending = pe.name;
+              pending_b = pe.ts_ns;
+            } else if (pe.kind == EventKind::kPhaseEnd &&
+                       pe.name == pending && !pending.empty()) {
+              w.work_ns[pending] = pe.ts_ns - pending_b;
+              pending.clear();
+            }
+          }
+          windows.push_back(std::move(w));
+          open_pos = -1;
+        }
+      }
+    }
+    std::size_t min_count = 0;
+    for (int r = 0; r < nranks; ++r) {
+      const std::size_t c = dumps_by_rank[static_cast<std::size_t>(r)].size();
+      min_count = (r == 0) ? c : std::min(min_count, c);
+    }
+    if (min_count == 0) continue;
+
+    // The ring drops oldest events, so ranks agree on the *last* min_count
+    // dumps; pair instances from the end.
+    for (std::size_t j = 0; j < min_count; ++j) {
+      const auto window_of = [&](int r) -> const RankDump& {
+        const auto& v = dumps_by_rank[static_cast<std::size_t>(r)];
+        return v[v.size() - min_count + j];
+      };
+      const RankDump& w0 = window_of(0);
+      const auto& lane0 = rd.by_rank[0];
+      const std::int64_t start = events[lane0[w0.begin_pos]].ts_ns;
+      const std::int64_t end = events[lane0[w0.end_pos]].ts_ns;
+
+      DumpProfile dp;
+      dp.run = run;
+      dp.index = static_cast<int>(dumps_by_rank[0].size() - min_count + j);
+      dp.nranks = nranks;
+      dp.start_ns = start;
+      dp.end_ns = end;
+      dp.total_ns = end - start;
+
+      // ---- backward walk: binding predecessor at every step --------------
+      std::vector<CriticalSegment> segs;
+      EvRef cur{0, w0.end_pos};
+      // Every step either moves backward within a rank or crosses to the
+      // event that released the current one; bound the walk defensively.
+      std::size_t steps_left = 2 * events.size() + 16;
+      while (steps_left-- > 0) {
+        const ProfEvent& e = ev_at(cur);
+        if (e.ts_ns <= start) break;
+        EvRef pred;
+        bool have_pred = false;
+        SegmentKind kind = SegmentKind::kCompute;
+        int blame = cur.rank;
+        if (e.kind == EventKind::kSyncEnd) {
+          const auto it = rd.syncs.find(e.c);
+          if (it != rd.syncs.end() && !it->second.begins.empty()) {
+            // The rendezvous released at (a function of) the latest entry:
+            // the straggler's kSyncBegin is the binding predecessor.
+            const EvRef* best = nullptr;
+            for (const EvRef& b : it->second.begins) {
+              if (best == nullptr || ev_at(b).ts_ns > ev_at(*best).ts_ns ||
+                  (ev_at(b).ts_ns == ev_at(*best).ts_ns &&
+                   b.rank < best->rank)) {
+                best = &b;
+              }
+            }
+            pred = *best;
+            have_pred = true;
+            kind = (e.name == "fence") ? SegmentKind::kFenceWait
+                                       : SegmentKind::kBarrierWait;
+            blame = pred.rank;
+          }
+        } else if (e.kind == EventKind::kRecv) {
+          const auto it = rd.sends.find(e.c);
+          if (it != rd.sends.end()) {
+            const std::int64_t prog_ts =
+                cur.pos > 0 ? ev_at(EvRef{cur.rank, cur.pos - 1}).ts_ns
+                            : start;
+            // Sender-bound receive: the message was still in flight when
+            // this rank was ready, so the edge crosses to the kSend.
+            if (ev_at(it->second).ts_ns >= prog_ts) {
+              pred = it->second;
+              have_pred = true;
+              kind = SegmentKind::kCommWait;
+            }
+          }
+        }
+        if (!have_pred) {
+          if (cur.pos == 0) {
+            // Ring-truncated lane: close the path out to the dump start.
+            segs.push_back(CriticalSegment{
+                cur.rank, start, e.ts_ns,
+                phase_at(window_of(cur.rank).marks, start),
+                SegmentKind::kCompute});
+            break;
+          }
+          pred = EvRef{cur.rank, cur.pos - 1};
+        }
+        const std::int64_t t0 = std::max(ev_at(pred).ts_ns, start);
+        if (e.ts_ns > t0) {
+          segs.push_back(CriticalSegment{blame, t0, e.ts_ns,
+                                         phase_at(window_of(blame).marks, t0),
+                                         kind});
+        }
+        cur = pred;
+      }
+      std::reverse(segs.begin(), segs.end());
+
+      // ---- aggregate ------------------------------------------------------
+      std::vector<std::string> phase_order;
+      for (const PhaseMark& m : w0.marks) phase_order.push_back(m.name);
+      const auto phase_index = [&](const std::string& name) -> std::size_t {
+        for (std::size_t i = 0; i < phase_order.size(); ++i) {
+          if (phase_order[i] == name) return i;
+        }
+        phase_order.push_back(name);
+        return phase_order.size() - 1;
+      };
+      std::vector<PhaseProfile> phases;
+      std::vector<std::int64_t> rank_ns(static_cast<std::size_t>(nranks), 0);
+      for (const CriticalSegment& s : segs) {
+        const std::size_t pi = phase_index(s.phase);
+        while (phases.size() <= pi) phases.push_back(PhaseProfile{});
+        PhaseProfile& pp = phases[pi];
+        const std::int64_t d = s.t1_ns - s.t0_ns;
+        pp.critical_ns += d;
+        switch (s.kind) {
+          case SegmentKind::kCompute:
+            pp.compute_ns += d;
+            break;
+          case SegmentKind::kCommWait:
+            pp.comm_ns += d;
+            break;
+          case SegmentKind::kBarrierWait:
+            pp.barrier_ns += d;
+            break;
+          case SegmentKind::kFenceWait:
+            pp.fence_ns += d;
+            break;
+        }
+        rank_ns[static_cast<std::size_t>(s.rank)] += d;
+      }
+      while (phases.size() < phase_order.size()) phases.push_back({});
+      for (std::size_t i = 0; i < phases.size(); ++i) {
+        PhaseProfile& pp = phases[i];
+        pp.phase = phase_order[i];
+        std::vector<std::int64_t> work;
+        for (int r = 0; r < nranks; ++r) {
+          const auto& wn = window_of(r).work_ns;
+          const auto it = wn.find(pp.phase);
+          if (it == wn.end()) continue;
+          work.push_back(it->second);
+          if (it->second > pp.rank_max_ns ||
+              (it->second == pp.rank_max_ns && pp.straggler_rank < 0)) {
+            pp.rank_max_ns = it->second;
+            pp.straggler_rank = r;
+          }
+        }
+        std::sort(work.begin(), work.end());
+        pp.rank_p50_ns = percentile(work, 0.50);
+        pp.rank_p99_ns = percentile(work, 0.99);
+      }
+      dp.phases = std::move(phases);
+      for (int r = 0; r < nranks; ++r) {
+        if (rank_ns[static_cast<std::size_t>(r)] > 0) {
+          dp.rank_critical.push_back(
+              RankShare{r, rank_ns[static_cast<std::size_t>(r)]});
+        }
+      }
+      std::sort(dp.rank_critical.begin(), dp.rank_critical.end(),
+                [](const RankShare& x, const RankShare& y) {
+                  if (x.critical_ns != y.critical_ns) {
+                    return x.critical_ns > y.critical_ns;
+                  }
+                  return x.rank < y.rank;
+                });
+      dp.segments = std::move(segs);
+      prof.dumps.push_back(std::move(dp));
+    }
+  }
+  return prof;
+}
+
+std::string profile_json(const Profile& p) {
+  std::string out = "{\"schema\": \"collprof-profile-v1\"";
+  out += ", \"dropped_events\": ";
+  append_u64(out, p.dropped_events);
+  out += ", \"unmatched_flows\": ";
+  append_u64(out, p.unmatched_flows);
+  out += ", \"unmatched_syncs\": ";
+  append_u64(out, p.unmatched_syncs);
+  out += ", \"dumps\": [";
+  for (std::size_t d = 0; d < p.dumps.size(); ++d) {
+    const DumpProfile& dp = p.dumps[d];
+    out += d == 0 ? "\n" : ",\n";
+    out += "{\"run\": ";
+    append_u64(out, dp.run);
+    out += ", \"index\": ";
+    append_i64(out, dp.index);
+    out += ", \"nranks\": ";
+    append_i64(out, dp.nranks);
+    out += ", \"total_s\": ";
+    append_seconds(out, dp.total_ns);
+    out += ", \"total_ns\": ";
+    append_i64(out, dp.total_ns);
+    out += ",\n \"phases\": [";
+    for (std::size_t i = 0; i < dp.phases.size(); ++i) {
+      const PhaseProfile& pp = dp.phases[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "  {\"phase\": \"";
+      append_escaped(out, pp.phase);
+      out += "\", \"critical_s\": ";
+      append_seconds(out, pp.critical_ns);
+      out += ", \"critical_ns\": ";
+      append_i64(out, pp.critical_ns);
+      out += ", \"pct\": ";
+      char pct[24];
+      std::snprintf(pct, sizeof pct, "%.2f",
+                    dp.total_ns > 0 ? 100.0 * static_cast<double>(pp.critical_ns) /
+                                          static_cast<double>(dp.total_ns)
+                                    : 0.0);
+      out += pct;
+      out += ", \"compute_s\": ";
+      append_seconds(out, pp.compute_ns);
+      out += ", \"comm_wait_s\": ";
+      append_seconds(out, pp.comm_ns);
+      out += ", \"barrier_wait_s\": ";
+      append_seconds(out, pp.barrier_ns);
+      out += ", \"fence_wait_s\": ";
+      append_seconds(out, pp.fence_ns);
+      out += ", \"rank_p50_s\": ";
+      append_seconds(out, pp.rank_p50_ns);
+      out += ", \"rank_p99_s\": ";
+      append_seconds(out, pp.rank_p99_ns);
+      out += ", \"rank_max_s\": ";
+      append_seconds(out, pp.rank_max_ns);
+      out += ", \"straggler_rank\": ";
+      append_i64(out, pp.straggler_rank);
+      out += "}";
+    }
+    out += "],\n \"rank_critical\": [";
+    for (std::size_t i = 0; i < dp.rank_critical.size(); ++i) {
+      const RankShare& rs = dp.rank_critical[i];
+      out += i == 0 ? "" : ", ";
+      out += "{\"rank\": ";
+      append_i64(out, rs.rank);
+      out += ", \"critical_s\": ";
+      append_seconds(out, rs.critical_ns);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string profile_report(const Profile& p) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "causal profile: %zu dump%s, %llu dropped event%s, "
+                "%llu unmatched flow%s, %llu unmatched sync%s\n",
+                p.dumps.size(), p.dumps.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(p.dropped_events),
+                p.dropped_events == 1 ? "" : "s",
+                static_cast<unsigned long long>(p.unmatched_flows),
+                p.unmatched_flows == 1 ? "" : "s",
+                static_cast<unsigned long long>(p.unmatched_syncs),
+                p.unmatched_syncs == 1 ? "" : "s");
+  out += line;
+  const auto ms = [](std::int64_t ns) { return static_cast<double>(ns) / 1e6; };
+  for (const DumpProfile& dp : p.dumps) {
+    std::snprintf(line, sizeof line,
+                  "\ndump run=%u #%d: %d ranks, critical path %.6f ms\n",
+                  dp.run, dp.index, dp.nranks, ms(dp.total_ns));
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  %-12s %12s %6s %10s %10s %10s %10s %10s %10s %5s\n",
+                  "phase", "critical(ms)", "%", "compute", "comm", "barrier",
+                  "fence", "p50/rank", "p99/rank", "strag");
+    out += line;
+    for (const PhaseProfile& pp : dp.phases) {
+      std::snprintf(
+          line, sizeof line,
+          "  %-12s %12.6f %5.1f%% %10.6f %10.6f %10.6f %10.6f %10.6f "
+          "%10.6f %5d\n",
+          pp.phase.c_str(), ms(pp.critical_ns),
+          dp.total_ns > 0 ? 100.0 * static_cast<double>(pp.critical_ns) /
+                                static_cast<double>(dp.total_ns)
+                          : 0.0,
+          ms(pp.compute_ns), ms(pp.comm_ns), ms(pp.barrier_ns),
+          ms(pp.fence_ns), ms(pp.rank_p50_ns), ms(pp.rank_p99_ns),
+          pp.straggler_rank);
+      out += line;
+    }
+    out += "  path by rank:";
+    for (std::size_t i = 0; i < dp.rank_critical.size() && i < 8; ++i) {
+      const RankShare& rs = dp.rank_critical[i];
+      std::snprintf(line, sizeof line, " r%d %.1f%%", rs.rank,
+                    dp.total_ns > 0
+                        ? 100.0 * static_cast<double>(rs.critical_ns) /
+                              static_cast<double>(dp.total_ns)
+                        : 0.0);
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string augmented_trace_json(const std::vector<ProfEvent>& events,
+                                 const Profile& p) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const ProfEvent& e : events) {
+    sep();
+    out += "{\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"cat\": \"";
+    out += category_of(e.kind);
+    out += "\", \"ph\": \"";
+    out += phase_of(e.kind);
+    out += "\", \"ts\": ";
+    append_ts_us(out, e.ts_ns);
+    out += ", \"pid\": ";
+    append_u64(out, e.run);
+    out += ", \"tid\": ";
+    append_i64(out, e.rank);
+    if (phase_of(e.kind)[0] == 'i') out += ", \"s\": \"t\"";
+    out += ", \"args\": {\"a\": ";
+    append_u64(out, e.a);
+    out += ", \"b\": ";
+    append_u64(out, e.b);
+    out += ", \"c\": ";
+    append_u64(out, e.c);
+    out += "}}";
+  }
+  // Flow arrows for every matched send/recv pair.
+  struct FlowEnd {
+    const ProfEvent* send = nullptr;
+    const ProfEvent* recv = nullptr;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, FlowEnd> flows;
+  for (const ProfEvent& e : events) {
+    if (e.kind == EventKind::kSend) flows[{e.run, e.c}].send = &e;
+    if (e.kind == EventKind::kRecv) flows[{e.run, e.c}].recv = &e;
+  }
+  for (const auto& [key, f] : flows) {
+    if (f.send == nullptr || f.recv == nullptr) continue;
+    sep();
+    out += "{\"name\": \"msg\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": ";
+    append_u64(out, key.second);
+    out += ", \"ts\": ";
+    append_ts_us(out, f.send->ts_ns);
+    out += ", \"pid\": ";
+    append_u64(out, key.first);
+    out += ", \"tid\": ";
+    append_i64(out, f.send->rank);
+    out += "}";
+    sep();
+    out += "{\"name\": \"msg\", \"cat\": \"flow\", \"ph\": \"f\", "
+           "\"bp\": \"e\", \"id\": ";
+    append_u64(out, key.second);
+    out += ", \"ts\": ";
+    append_ts_us(out, f.recv->ts_ns);
+    out += ", \"pid\": ";
+    append_u64(out, key.first);
+    out += ", \"tid\": ";
+    append_i64(out, f.recv->rank);
+    out += "}";
+  }
+  // The critical path of every dump as explicit "X" slices.
+  for (const DumpProfile& dp : p.dumps) {
+    for (const CriticalSegment& s : dp.segments) {
+      sep();
+      out += "{\"name\": \"critical\", \"cat\": \"critical\", \"ph\": \"X\", "
+             "\"ts\": ";
+      append_ts_us(out, s.t0_ns);
+      out += ", \"dur\": ";
+      append_ts_us(out, s.t1_ns - s.t0_ns);
+      out += ", \"pid\": ";
+      append_u64(out, dp.run);
+      out += ", \"tid\": ";
+      append_i64(out, s.rank);
+      out += ", \"args\": {\"kind\": \"";
+      out += to_string(s.kind);
+      out += "\", \"phase\": \"";
+      append_escaped(out, s.phase);
+      out += "\"}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace collrep::obs

@@ -1,0 +1,123 @@
+// Causal profile: cross-rank happens-before DAG + critical-path extraction.
+//
+// The per-rank trace rings (obs/trace.hpp) carry three edge sources that
+// stitch them into one DAG per run:
+//   - program order: each rank's events in recording order;
+//   - p2p flows: a kSend and the kRecv carrying the same flow id (arg c);
+//   - rendezvous: all ranks' kSyncBegin/kSyncEnd pairs sharing a sync
+//     generation (arg c) — barrier and window-fence releases.
+// Walking backward from the end of a "dump" wrapper span and always taking
+// the *binding* predecessor (the one that determined the event's time)
+// yields the dump's sim-time critical path as a chain of segments that
+// telescope exactly: their durations sum to the dump latency in integer
+// nanosecond ticks, ±0.  See DESIGN.md §11 for the construction rules.
+//
+// Everything here is offline analysis: it consumes either a live Telemetry
+// (collect_events) or a parsed trace file (tools/collprof/trace_load) and
+// never touches the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace collrep::obs {
+
+class Telemetry;
+enum class EventKind : std::uint8_t;
+
+// Analysis-side view of one trace event.  Timestamps are integer simulated
+// nanoseconds ("ticks") so path arithmetic is exact; both producers go
+// through to_ticks() below.
+struct ProfEvent {
+  EventKind kind{};
+  int rank = 0;
+  std::uint32_t run = 0;
+  std::int64_t ts_ns = 0;
+  std::string name;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+// Simulated seconds -> integer nanosecond ticks, routed through the exact
+// "%.3f microseconds" rendering Telemetry::trace_json() uses, so a profile
+// built from a live Telemetry and one rebuilt from the exported trace file
+// agree bit-for-bit.
+[[nodiscard]] std::int64_t to_ticks(double seconds);
+
+// All ranks' trace events (recording order per rank, ranks in order).
+[[nodiscard]] std::vector<ProfEvent> collect_events(const Telemetry& tel);
+
+// What a critical-path segment's time was spent on.
+enum class SegmentKind : std::uint8_t {
+  kCompute = 0,   // the owning rank was executing between two of its events
+  kCommWait,      // receiver stalled on an in-flight p2p message
+  kBarrierWait,   // rendezvous release beyond the last entrant (barrier)
+  kFenceWait,     // window-epoch bulk transfer charged at the fence
+};
+[[nodiscard]] const char* to_string(SegmentKind k) noexcept;
+
+struct CriticalSegment {
+  int rank = 0;  // rank the segment's time is attributed to
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::string phase;  // dump phase active on `rank` at t0
+  SegmentKind kind = SegmentKind::kCompute;
+};
+
+struct PhaseProfile {
+  std::string phase;
+  std::int64_t critical_ns = 0;  // total critical-path time in this phase
+  std::int64_t compute_ns = 0;
+  std::int64_t comm_ns = 0;
+  std::int64_t barrier_ns = 0;
+  std::int64_t fence_ns = 0;
+  // Per-rank work time (kPhaseBegin -> pre-barrier kPhaseEnd): the skew the
+  // closing barrier hides from DumpStats.
+  std::int64_t rank_p50_ns = 0;
+  std::int64_t rank_p99_ns = 0;
+  std::int64_t rank_max_ns = 0;
+  int straggler_rank = -1;
+};
+
+struct RankShare {
+  int rank = 0;
+  std::int64_t critical_ns = 0;
+};
+
+struct DumpProfile {
+  std::uint32_t run = 0;
+  int index = 0;  // dump ordinal within the run
+  int nranks = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::int64_t total_ns = 0;                // == end - start == sum(segments)
+  std::vector<PhaseProfile> phases;         // pipeline order
+  std::vector<RankShare> rank_critical;     // descending share of the path
+  std::vector<CriticalSegment> segments;    // chronological
+};
+
+struct Profile {
+  std::vector<DumpProfile> dumps;
+  std::uint64_t dropped_events = 0;   // ring overflow (DAG incomplete if != 0)
+  std::uint64_t unmatched_flows = 0;  // kSend/kRecv without the partner event
+  std::uint64_t unmatched_syncs = 0;  // generations missing some rank
+};
+
+[[nodiscard]] Profile build_profile(const std::vector<ProfEvent>& events,
+                                    std::uint64_t dropped_events = 0);
+
+// Deterministic machine-readable profile (schema "collprof-profile-v1").
+[[nodiscard]] std::string profile_json(const Profile& p);
+
+// Human-readable per-dump critical-path breakdown.
+[[nodiscard]] std::string profile_report(const Profile& p);
+
+// The original events re-serialized as Chrome trace JSON, augmented with
+// flow arrows ("s"/"f" pairs, cat "flow") for every matched p2p message and
+// "X" slices (cat "critical") tracing the critical path of each dump.
+[[nodiscard]] std::string augmented_trace_json(
+    const std::vector<ProfEvent>& events, const Profile& p);
+
+}  // namespace collrep::obs

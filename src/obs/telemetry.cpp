@@ -43,6 +43,12 @@ CommStats Telemetry::rollup() const {
   return total;
 }
 
+std::uint64_t Telemetry::dropped_events() const {
+  std::uint64_t dropped = 0;
+  for (const auto& rt : ranks_) dropped += rt->trace.dropped();
+  return dropped;
+}
+
 void Telemetry::publish_rollup() {
   const CommStats c = rollup();
   metrics_.set("comm.sent_messages", static_cast<double>(c.sent_messages));
@@ -72,6 +78,13 @@ void Telemetry::publish_rollup() {
     metrics_.set(base + ".rounds",
                  static_cast<double>(c.collective_rounds[i]));
   }
+  metrics_.set("trace.dropped_events", static_cast<double>(dropped_events()));
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (const std::uint64_t d = ranks_[r]->trace.dropped(); d != 0) {
+      metrics_.set("trace.rank" + std::to_string(r) + ".dropped_events",
+                   static_cast<double>(d));
+    }
+  }
 }
 
 std::string Telemetry::trace_json() const {
@@ -97,14 +110,15 @@ std::string Telemetry::trace_json() const {
       append_u64(out, r);
       const char* ph = phase_of(ev.kind);
       if (ph[0] == 'i') out += ", \"s\": \"t\"";  // thread-scoped instant
-      if (ph[0] != 'E') {
-        out += ", \"args\": {\"a\": ";
-        append_u64(out, ev.a);
-        out += ", \"b\": ";
-        append_u64(out, ev.b);
-        out += "}";
-      }
-      out += "}";
+      // Args go on every phase, including "E": collprof pairs sync begin/
+      // end events and send/recv instants by the causal id in "c".
+      out += ", \"args\": {\"a\": ";
+      append_u64(out, ev.a);
+      out += ", \"b\": ";
+      append_u64(out, ev.b);
+      out += ", \"c\": ";
+      append_u64(out, ev.c);
+      out += "}}";
     }
   }
   out += "\n], \"otherData\": {\"dropped_events\": \"";

@@ -37,8 +37,8 @@ struct RankTelemetry {
   std::uint32_t run = 0;               // current Runtime::run() incarnation
 
   void event(EventKind kind, double ts, const char* name, std::uint64_t a = 0,
-             std::uint64_t b = 0) {
-    trace.record(TraceEvent{kind, run, ts, name, a, b});
+             std::uint64_t b = 0, std::uint64_t c = 0) {
+    trace.record(TraceEvent{kind, run, ts, name, a, b, c});
   }
 };
 
@@ -74,7 +74,13 @@ class Telemetry {
   // Merge of every rank's CommStats across all runs so far.
   [[nodiscard]] CommStats rollup() const;
 
+  // Total trace-ring overflow across ranks.  Nonzero means the happens-
+  // before DAG is incomplete (oldest events were discarded); profile-mode
+  // consumers must check this and size TelemetryConfig::trace_capacity up.
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
   // Mirror the comm roll-up into the metrics registry as "comm.*" gauges
+  // plus the per-rank/total "trace.*.dropped_events" overflow counters
   // (idempotent; called before exporting metrics to a file).
   void publish_rollup();
 

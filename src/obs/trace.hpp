@@ -23,20 +23,33 @@ enum class EventKind : std::uint8_t {
   kFence,        // instant: window epoch completion (a = epoch put bytes)
   kStoreCommit,  // instant: chunks committed to a device (a = bytes)
   kFault,        // instant: injected fault fired (a = target store/rank)
+  // Flow events: the cross-rank happens-before edges tools/collprof
+  // stitches the per-rank rings together with (DESIGN.md §11).
+  kSend,       // instant: p2p message entered flight (a = bytes, b = dst,
+               //          c = flow id, matched by the peer's kRecv)
+  kRecv,       // instant: p2p message delivered (a = bytes, b = src,
+               //          c = flow id of the matching kSend)
+  kSyncBegin,  // duration begin: clock-aligning rendezvous entry
+               //          (barrier / window fence; c = sync generation)
+  kSyncEnd,    // duration end: rendezvous release (c = sync generation)
 };
 
 [[nodiscard]] constexpr const char* phase_of(EventKind k) noexcept {
   switch (k) {
     case EventKind::kPhaseBegin:
     case EventKind::kCollectiveBegin:
+    case EventKind::kSyncBegin:
       return "B";
     case EventKind::kPhaseEnd:
     case EventKind::kCollectiveEnd:
+    case EventKind::kSyncEnd:
       return "E";
     case EventKind::kPut:
     case EventKind::kFence:
     case EventKind::kStoreCommit:
     case EventKind::kFault:
+    case EventKind::kSend:
+    case EventKind::kRecv:
       return "i";
   }
   return "i";
@@ -57,6 +70,12 @@ enum class EventKind : std::uint8_t {
       return "storage";
     case EventKind::kFault:
       return "fault";
+    case EventKind::kSend:
+    case EventKind::kRecv:
+      return "comm";
+    case EventKind::kSyncBegin:
+    case EventKind::kSyncEnd:
+      return "sync";
   }
   return "misc";
 }
@@ -68,6 +87,7 @@ struct TraceEvent {
   const char* name = "";   // must have static storage duration
   std::uint64_t a = 0;     // kind-specific (typically bytes)
   std::uint64_t b = 0;     // kind-specific (typically a peer rank)
+  std::uint64_t c = 0;     // causal id (flow id / sync generation)
 };
 
 // Fixed-capacity ring; overflow drops the *oldest* events so the tail of

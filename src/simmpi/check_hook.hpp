@@ -27,46 +27,32 @@
 
 namespace collrep::simmpi {
 
-// Every operation simmpi executes collectively.  The first six values
-// mirror obs::CollectiveKind (same order) so the two enums convert by
-// index; the remainder are the comm-layer collectives that obs counts
-// separately (barriers, window epochs).
+// Every operation simmpi executes collectively, generated from the shared
+// registry (obs/collectives.def).  The typed collectives come first and
+// mirror obs::CollectiveKind (same declaration order) so the two enums
+// convert by index; the remainder are the comm-layer collectives that obs
+// counts separately (barriers, window epochs).
 enum class CollOp : std::uint8_t {
-  kBcast = 0,
-  kReduce,
-  kAllreduce,
-  kGather,
-  kScatter,
-  kAllgather,
-  kBarrier,
-  kWinCreate,
-  kWinFence,
-  kWinFree,
+#define COLLREP_COLLECTIVE_OBS(Name, str) k##Name,
+#define COLLREP_COLLECTIVE_COMM(Name, str) k##Name,
+#include "obs/collectives.def"
 };
-inline constexpr std::size_t kCollOpCount = 10;
+
+inline constexpr std::size_t kCollOpCount = 0
+#define COLLREP_COLLECTIVE_OBS(Name, str) +1
+#define COLLREP_COLLECTIVE_COMM(Name, str) +1
+#include "obs/collectives.def"
+    ;
 
 [[nodiscard]] constexpr const char* to_string(CollOp op) noexcept {
   switch (op) {
-    case CollOp::kBcast:
-      return "bcast";
-    case CollOp::kReduce:
-      return "reduce";
-    case CollOp::kAllreduce:
-      return "allreduce";
-    case CollOp::kGather:
-      return "gather";
-    case CollOp::kScatter:
-      return "scatter";
-    case CollOp::kAllgather:
-      return "allgather";
-    case CollOp::kBarrier:
-      return "barrier";
-    case CollOp::kWinCreate:
-      return "win_create";
-    case CollOp::kWinFence:
-      return "win_fence";
-    case CollOp::kWinFree:
-      return "win_free";
+#define COLLREP_COLLECTIVE_OBS(Name, str) \
+  case CollOp::k##Name:                   \
+    return str;
+#define COLLREP_COLLECTIVE_COMM(Name, str) \
+  case CollOp::k##Name:                    \
+    return str;
+#include "obs/collectives.def"
   }
   return "unknown";
 }

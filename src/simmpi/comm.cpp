@@ -27,9 +27,16 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::uint8_t> data) {
   }
   // Sender-side copy-out overhead, then in-flight latency/bandwidth.
   clock_.advance(static_cast<double>(data.size()) / cl.mem_bandwidth_bps);
+  const std::uint64_t flow =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank_)) << 32) |
+      static_cast<std::uint32_t>(flow_seq_++);
+  if (obs_) {
+    obs_->event(obs::EventKind::kSend, clock_.now(), "send", data.size(),
+                static_cast<std::uint64_t>(dst), flow);
+  }
   detail::Message msg{
       std::vector<std::uint8_t>(data.begin(), data.end()),
-      clock_.now() + cl.message_time(rank_, dst, data.size())};
+      clock_.now() + cl.message_time(rank_, dst, data.size()), flow};
   state_->mailbox(dst).push(rank_, tag, std::move(msg));
 }
 
@@ -46,13 +53,27 @@ std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag) {
   clock_.at_least(msg.arrival_time);
   clock_.advance(static_cast<double>(msg.payload.size()) /
                  cluster().mem_bandwidth_bps);
+  if (obs_) {
+    // Stamped after the arrival/copy-in advance: ts is when the receive
+    // completed, so the matching kSend -> kRecv edge spans the flight time.
+    obs_->event(obs::EventKind::kRecv, clock_.now(), "recv",
+                msg.payload.size(), static_cast<std::uint64_t>(src), msg.flow);
+  }
   return std::move(msg.payload);
 }
 
 void Comm::barrier(std::source_location loc) {
   check_collective(CollFingerprint{.op = CollOp::kBarrier}, loc);
-  if (obs_) ++obs_->comm.barriers;
+  const std::uint64_t gen = sync_seq_++;
+  if (obs_) {
+    ++obs_->comm.barriers;
+    obs_->event(obs::EventKind::kSyncBegin, clock_.now(), "barrier", 0, 0,
+                gen);
+  }
   clock_.at_least(state_->sync(clock_.now()));
+  if (obs_) {
+    obs_->event(obs::EventKind::kSyncEnd, clock_.now(), "barrier", 0, 0, gen);
+  }
   check_collective_done();
 }
 
@@ -135,6 +156,11 @@ void Window::fence(unsigned flags, std::source_location loc) {
   comm_->fault_point("win.fence");
   auto& ws = comm_->state_->window(id_);
   const auto& cl = comm_->cluster();
+  const std::uint64_t gen = comm_->sync_seq_++;
+  if (auto* t = comm_->obs_) {
+    t->event(obs::EventKind::kSyncBegin, comm_->clock().now(), "fence",
+             comm_->epoch_bytes_put_, static_cast<std::uint64_t>(id_), gen);
+  }
   const double release = comm_->state_->sync(
       comm_->clock().now(), [&](double max_clock) {
         // Bulk-synchronous epoch: each node's NIC moves its inter-node
@@ -169,6 +195,8 @@ void Window::fence(unsigned flags, std::source_location loc) {
       ws.rank_recv_epoch[static_cast<std::size_t>(comm_->rank())];
   if (auto* t = comm_->obs_) {
     ++t->comm.window_epochs;
+    t->event(obs::EventKind::kSyncEnd, comm_->clock().now(), "fence",
+             comm_->epoch_bytes_put_, comm_->epoch_bytes_recv_, gen);
     t->event(obs::EventKind::kFence, comm_->clock().now(), "fence",
              comm_->epoch_bytes_put_, comm_->epoch_bytes_recv_);
   }

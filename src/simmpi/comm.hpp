@@ -125,6 +125,12 @@ class Comm {
   std::uint64_t epoch_bytes_put_ = 0;
   std::uint64_t epoch_bytes_recv_ = 0;
   int next_win_id_ = 0;  // advances identically on all ranks (collective)
+  std::uint64_t flow_seq_ = 0;  // per-rank send counter -> Message::flow ids
+  // Rendezvous generation.  barrier() and Window::fence() are the only
+  // operations that enter RunState::sync, and both are collective, so this
+  // counter advances identically on all ranks; collprof uses it to group
+  // each rank's kSyncBegin/kSyncEnd pair into one cross-rank rendezvous.
+  std::uint64_t sync_seq_ = 0;
 };
 
 // RAII handle to one collective window.  Movable, not copyable; must be

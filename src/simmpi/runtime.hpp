@@ -82,6 +82,10 @@ namespace detail {
 struct Message {
   std::vector<std::uint8_t> payload;
   double arrival_time = 0.0;
+  // Sender-assigned causal id ((src_rank << 32) | per-rank seq); the
+  // receiver re-emits it so tools/collprof can pair the kSend/kRecv trace
+  // events into a happens-before edge.
+  std::uint64_t flow = 0;
 };
 
 class Mailbox {

@@ -1,0 +1,312 @@
+// Causal profiler: critical-path extraction on hand-built DAGs with known
+// answers, flow-edge pairing and ±0-tick phase accounting on real dumps,
+// byte-stable profile JSON, live-vs-file round trip through the collprof
+// trace loader, and the dropped-events contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+#include "trace_load.hpp"
+
+namespace {
+
+using namespace collrep;
+using collrep::test::JsonChecker;
+using obs::EventKind;
+using obs::ProfEvent;
+using obs::SegmentKind;
+
+// -- hand-built fixtures -------------------------------------------------------
+
+ProfEvent ev(EventKind kind, int rank, std::int64_t ts_ns, const char* name,
+             std::uint64_t a = 0, std::uint64_t b = 0, std::uint64_t c = 0) {
+  return ProfEvent{kind, rank, /*run=*/1, ts_ns, name, a, b, c};
+}
+
+// Four ranks, two phases, two barriers; every duration chosen by hand.
+//
+//   alpha: rank r works [0, 100+10r] ns -> rank 3 straggles at 130
+//   beta:  rank 2 works [130, 230], everyone else [130, 200]
+//
+// The critical path must be: rank 3 computing through all of alpha
+// (130 ns), then rank 2 computing through all of beta (100 ns); barrier
+// waits contribute zero because the path runs through each straggler.
+std::vector<ProfEvent> two_phase_fixture() {
+  std::vector<ProfEvent> events;
+  for (int r = 0; r < 4; ++r) {
+    const std::int64_t alpha_e = 100 + 10 * r;
+    const std::int64_t beta_e = (r == 2) ? 230 : 200;
+    events.push_back(ev(EventKind::kPhaseBegin, r, 0, "dump"));
+    events.push_back(ev(EventKind::kPhaseBegin, r, 0, "alpha"));
+    events.push_back(ev(EventKind::kPhaseEnd, r, alpha_e, "alpha"));
+    events.push_back(
+        ev(EventKind::kSyncBegin, r, alpha_e, "barrier", 0, 0, /*c=*/0));
+    events.push_back(ev(EventKind::kSyncEnd, r, 130, "barrier", 0, 0, 0));
+    events.push_back(ev(EventKind::kPhaseBegin, r, 130, "beta"));
+    events.push_back(ev(EventKind::kPhaseEnd, r, beta_e, "beta"));
+    events.push_back(
+        ev(EventKind::kSyncBegin, r, beta_e, "barrier", 0, 0, /*c=*/1));
+    events.push_back(ev(EventKind::kSyncEnd, r, 230, "barrier", 0, 0, 1));
+    events.push_back(ev(EventKind::kPhaseEnd, r, 230, "dump"));
+  }
+  return events;
+}
+
+TEST(CriticalPath, TwoPhaseFixtureSumsExactly) {
+  const obs::Profile p = obs::build_profile(two_phase_fixture());
+  ASSERT_EQ(p.dumps.size(), 1u);
+  EXPECT_EQ(p.unmatched_flows, 0u);
+  EXPECT_EQ(p.unmatched_syncs, 0u);
+
+  const obs::DumpProfile& dp = p.dumps[0];
+  EXPECT_EQ(dp.nranks, 4);
+  EXPECT_EQ(dp.total_ns, 230);
+
+  // Acceptance: per-phase critical times sum to the dump latency, ±0 ticks.
+  std::int64_t sum = 0;
+  for (const obs::PhaseProfile& pp : dp.phases) sum += pp.critical_ns;
+  EXPECT_EQ(sum, dp.total_ns);
+
+  ASSERT_EQ(dp.phases.size(), 2u);
+  const obs::PhaseProfile& alpha = dp.phases[0];
+  EXPECT_EQ(alpha.phase, "alpha");
+  EXPECT_EQ(alpha.critical_ns, 130);
+  EXPECT_EQ(alpha.compute_ns, 130);   // path runs through the straggler
+  EXPECT_EQ(alpha.barrier_ns, 0);
+  EXPECT_EQ(alpha.straggler_rank, 3);
+  EXPECT_EQ(alpha.rank_p50_ns, 110);  // works sorted: 100 110 120 130
+  EXPECT_EQ(alpha.rank_p99_ns, 130);
+  EXPECT_EQ(alpha.rank_max_ns, 130);
+
+  const obs::PhaseProfile& beta = dp.phases[1];
+  EXPECT_EQ(beta.phase, "beta");
+  EXPECT_EQ(beta.critical_ns, 100);
+  EXPECT_EQ(beta.compute_ns, 100);
+  EXPECT_EQ(beta.straggler_rank, 2);
+  EXPECT_EQ(beta.rank_p50_ns, 70);    // works sorted: 70 70 70 100
+  EXPECT_EQ(beta.rank_p99_ns, 100);
+
+  // Path ownership: rank 3 carries alpha, rank 2 carries beta.
+  ASSERT_EQ(dp.rank_critical.size(), 2u);
+  EXPECT_EQ(dp.rank_critical[0].rank, 3);
+  EXPECT_EQ(dp.rank_critical[0].critical_ns, 130);
+  EXPECT_EQ(dp.rank_critical[1].rank, 2);
+  EXPECT_EQ(dp.rank_critical[1].critical_ns, 100);
+
+  // Segments are chronological and telescope over [start, end].
+  ASSERT_EQ(dp.segments.size(), 2u);
+  EXPECT_EQ(dp.segments[0].t0_ns, 0);
+  EXPECT_EQ(dp.segments[0].t1_ns, 130);
+  EXPECT_EQ(dp.segments[0].rank, 3);
+  EXPECT_EQ(dp.segments[0].kind, SegmentKind::kCompute);
+  EXPECT_EQ(dp.segments[1].t0_ns, 130);
+  EXPECT_EQ(dp.segments[1].t1_ns, 230);
+  EXPECT_EQ(dp.segments[1].rank, 2);
+}
+
+// Two ranks; rank 0 sends at t=10, rank 1 is ready at t=5 but the message
+// lands at t=25.  The 15 ns in-flight window must be attributed to the
+// receiver as comm_wait, and the path must cross to the sender's timeline.
+std::vector<ProfEvent> comm_wait_fixture() {
+  std::vector<ProfEvent> events;
+  const std::uint64_t flow = 42;
+  // rank 0: sender
+  events.push_back(ev(EventKind::kPhaseBegin, 0, 0, "dump"));
+  events.push_back(ev(EventKind::kSend, 0, 10, "send", 100, 1, flow));
+  events.push_back(ev(EventKind::kSyncBegin, 0, 10, "barrier", 0, 0, 0));
+  events.push_back(ev(EventKind::kSyncEnd, 0, 25, "barrier", 0, 0, 0));
+  events.push_back(ev(EventKind::kPhaseEnd, 0, 25, "dump"));
+  // rank 1: receiver, ready early
+  events.push_back(ev(EventKind::kPhaseBegin, 1, 0, "dump"));
+  events.push_back(ev(EventKind::kStoreCommit, 1, 5, "commit", 64));
+  events.push_back(ev(EventKind::kRecv, 1, 25, "recv", 100, 0, flow));
+  events.push_back(ev(EventKind::kSyncBegin, 1, 25, "barrier", 0, 0, 0));
+  events.push_back(ev(EventKind::kSyncEnd, 1, 25, "barrier", 0, 0, 0));
+  events.push_back(ev(EventKind::kPhaseEnd, 1, 25, "dump"));
+  return events;
+}
+
+TEST(CriticalPath, CommWaitCrossesToSender) {
+  const obs::Profile p = obs::build_profile(comm_wait_fixture());
+  ASSERT_EQ(p.dumps.size(), 1u);
+  EXPECT_EQ(p.unmatched_flows, 0u);
+  EXPECT_EQ(p.unmatched_syncs, 0u);
+
+  const obs::DumpProfile& dp = p.dumps[0];
+  EXPECT_EQ(dp.total_ns, 25);
+
+  ASSERT_EQ(dp.segments.size(), 2u);
+  // [0,10]: rank 0 computing up to its send.
+  EXPECT_EQ(dp.segments[0].rank, 0);
+  EXPECT_EQ(dp.segments[0].t0_ns, 0);
+  EXPECT_EQ(dp.segments[0].t1_ns, 10);
+  EXPECT_EQ(dp.segments[0].kind, SegmentKind::kCompute);
+  // [10,25]: the message in flight, charged to the waiting receiver.
+  EXPECT_EQ(dp.segments[1].rank, 1);
+  EXPECT_EQ(dp.segments[1].t0_ns, 10);
+  EXPECT_EQ(dp.segments[1].t1_ns, 25);
+  EXPECT_EQ(dp.segments[1].kind, SegmentKind::kCommWait);
+
+  std::int64_t sum = 0;
+  for (const obs::PhaseProfile& pp : dp.phases) sum += pp.critical_ns;
+  EXPECT_EQ(sum, dp.total_ns);
+}
+
+TEST(CriticalPath, UnmatchedEdgesAreCounted) {
+  auto events = comm_wait_fixture();
+  // Drop rank 1's kRecv and its sync entry: the flow loses its receive end
+  // and generation 0 loses a participant.
+  std::vector<ProfEvent> broken;
+  for (const ProfEvent& e : events) {
+    if (e.rank == 1 && (e.kind == EventKind::kRecv ||
+                        e.kind == EventKind::kSyncBegin)) {
+      continue;
+    }
+    broken.push_back(e);
+  }
+  const obs::Profile p = obs::build_profile(broken);
+  EXPECT_EQ(p.unmatched_flows, 1u);
+  EXPECT_EQ(p.unmatched_syncs, 1u);
+}
+
+// -- real pipeline -------------------------------------------------------------
+
+core::DumpConfig instrumented_cfg() {
+  core::DumpConfig cfg;
+  cfg.chunk_bytes = 512;
+  return cfg;
+}
+
+collrep::test::DataGen page_gen() {
+  return [](int rank) { return collrep::test::mixed_pages(rank, 24, 512); };
+}
+
+TEST(ProfileRealDump, CriticalPathSumsToDumpTimeAndFlowsPair) {
+  obs::Telemetry tel;
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = &tel;
+  auto run = collrep::test::run_dump(4, 2, instrumented_cfg(), page_gen(),
+                                     chunk::StoreMode::kPayload, opts);
+
+  // Profile-mode contract: the ring must hold the whole dump.
+  EXPECT_EQ(tel.dropped_events(), 0u);
+
+  const std::vector<ProfEvent> events = obs::collect_events(tel);
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  for (const ProfEvent& e : events) {
+    if (e.kind == EventKind::kSend) ++sends;
+    if (e.kind == EventKind::kRecv) ++recvs;
+  }
+  EXPECT_GT(sends, 0u);        // the collectives really emit flow edges
+  EXPECT_EQ(sends, recvs);     // every send edge has a matching receive
+
+  const obs::Profile p = obs::build_profile(events, tel.dropped_events());
+  EXPECT_EQ(p.unmatched_flows, 0u);
+  EXPECT_EQ(p.unmatched_syncs, 0u);
+  ASSERT_EQ(p.dumps.size(), 1u);
+
+  const obs::DumpProfile& dp = p.dumps[0];
+  EXPECT_EQ(dp.nranks, 4);
+  EXPECT_GT(dp.total_ns, 0);
+
+  // Acceptance: phase critical times sum to the dump latency, ±0 ticks...
+  std::int64_t sum = 0;
+  for (const obs::PhaseProfile& pp : dp.phases) sum += pp.critical_ns;
+  EXPECT_EQ(sum, dp.total_ns);
+
+  // ...and the dump window agrees with the measured DumpStats latency
+  // (tick rounding of two double timestamps allows ±1 ns each way).
+  EXPECT_NEAR(static_cast<double>(dp.total_ns) * 1e-9,
+              run.stats[0].total_time_s, 2e-9);
+}
+
+TEST(ProfileRealDump, ProfileJsonIsByteStableAcrossRuns) {
+  std::string json[2];
+  for (std::string& out : json) {
+    obs::Telemetry tel;
+    simmpi::RuntimeOptions opts;
+    opts.telemetry = &tel;
+    (void)collrep::test::run_dump(4, 2, instrumented_cfg(), page_gen(),
+                                  chunk::StoreMode::kPayload, opts);
+    out = obs::profile_json(
+        obs::build_profile(obs::collect_events(tel), tel.dropped_events()));
+  }
+  EXPECT_EQ(json[0], json[1]);
+}
+
+TEST(ProfileRealDump, FileRoundTripMatchesLiveProfile) {
+  obs::Telemetry tel;
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = &tel;
+  (void)collrep::test::run_dump(4, 2, instrumented_cfg(), page_gen(),
+                                chunk::StoreMode::kPayload, opts);
+
+  const std::vector<ProfEvent> live_events = obs::collect_events(tel);
+  const obs::Profile live =
+      obs::build_profile(live_events, tel.dropped_events());
+
+  // collprof's loader must reconstruct the identical profile from the
+  // exported Chrome trace file.
+  const collprof::LoadResult loaded = collprof::load_trace(tel.trace_json());
+  ASSERT_TRUE(loaded.ok()) << (loaded.errors.empty() ? "" : loaded.errors[0]);
+  const obs::Profile from_file =
+      obs::build_profile(loaded.events, loaded.dropped_events);
+
+  EXPECT_EQ(obs::profile_json(live), obs::profile_json(from_file));
+  EXPECT_EQ(obs::augmented_trace_json(live_events, live),
+            obs::augmented_trace_json(loaded.events, from_file));
+}
+
+TEST(ProfileRealDump, ExportsAreValidJsonWithFlowAndCriticalTracks) {
+  obs::Telemetry tel;
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = &tel;
+  (void)collrep::test::run_dump(4, 2, instrumented_cfg(), page_gen(),
+                                chunk::StoreMode::kPayload, opts);
+  const std::vector<ProfEvent> events = obs::collect_events(tel);
+  const obs::Profile p = obs::build_profile(events, tel.dropped_events());
+
+  const std::string prof = obs::profile_json(p);
+  EXPECT_TRUE(JsonChecker(prof).valid());
+  EXPECT_NE(prof.find("\"schema\": \"collprof-profile-v1\""),
+            std::string::npos);
+
+  const std::string aug = obs::augmented_trace_json(events, p);
+  EXPECT_TRUE(JsonChecker(aug).valid());
+  EXPECT_NE(aug.find("\"cat\": \"flow\""), std::string::npos);
+  EXPECT_NE(aug.find("\"cat\": \"critical\""), std::string::npos);
+
+  EXPECT_NE(obs::profile_report(p).find("critical path"), std::string::npos);
+}
+
+TEST(ProfileRealDump, RingOverflowIsCountedAndPublished) {
+  obs::TelemetryConfig cfg;
+  cfg.trace_capacity = 8;  // deliberately too small for a dump
+  obs::Telemetry tel(cfg);
+  simmpi::RuntimeOptions opts;
+  opts.telemetry = &tel;
+  (void)collrep::test::run_dump(4, 2, instrumented_cfg(), page_gen(),
+                                chunk::StoreMode::kPayload, opts);
+
+  EXPECT_GT(tel.dropped_events(), 0u);
+
+  // The overflow flows into the profile header and the metrics registry.
+  const obs::Profile p =
+      obs::build_profile(obs::collect_events(tel), tel.dropped_events());
+  EXPECT_EQ(p.dropped_events, tel.dropped_events());
+
+  tel.publish_rollup();
+  const std::string metrics = tel.metrics().to_json();
+  EXPECT_NE(metrics.find("trace.dropped_events"), std::string::npos);
+  EXPECT_NE(metrics.find("trace.rank0.dropped_events"), std::string::npos);
+}
+
+}  // namespace

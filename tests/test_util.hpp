@@ -4,11 +4,116 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/collrep.hpp"
 
 namespace collrep::test {
+
+// -- minimal JSON validator ---------------------------------------------------
+// Recursive-descent parser that accepts exactly the JSON grammar; used to
+// prove exported documents (metrics, traces, profiles) are machine-readable
+// without pulling in a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s)
+      : p_(s.data()), end_(s.data() + s.size()) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+      }
+      ++p_;
+    }
+    return consume('"');
+  }
+  bool number() {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    while (p_ < end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                         *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                         *p_ == '-')) {
+      ++p_;
+    }
+    return p_ > start;
+  }
+  bool object() {  // NOLINT(misc-no-recursion)
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    do {
+      skip_ws();
+      if (!string()) return false;
+      if (!consume(':')) return false;
+      if (!value()) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+  bool array() {  // NOLINT(misc-no-recursion)
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (consume(','));
+    return consume(']');
+  }
+  bool value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
 
 // Runs an SPMD body over `nranks` and returns per-rank dump stats.
 struct DumpRun {

@@ -36,11 +36,15 @@ const std::unordered_map<std::string, int>& layer_table() {
   return kRanks;
 }
 
-// Identifier sets driving the rules.
+// Identifier sets driving the rules.  The collective call-name table comes
+// from the shared registry so collcheck, simmpi, obs and collprof can never
+// disagree about what counts as a collective.
 const std::unordered_set<std::string>& collective_free_names() {
   static const std::unordered_set<std::string> kNames = {
-      "bcast",     "reduce",        "allreduce", "allreduce_sum",
-      "allreduce_max", "gather",    "scatter",   "allgather"};
+#define COLLREP_COLLECTIVE_OBS(Name, str) str,
+#define COLLREP_COLLECTIVE_ALIAS(str) str,
+#include "obs/collectives.def"
+  };
   return kNames;
 }
 

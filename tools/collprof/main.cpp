@@ -1,0 +1,132 @@
+// collprof CLI: offline critical-path profiler for collrep trace files.
+//
+//   collprof [options] TRACE.json
+//
+//   --json FILE       write the machine-readable profile (perf_gate input)
+//   --augment FILE    write the trace back out with flow arrows + the
+//                     critical path highlighted (load in Perfetto)
+//   --report FILE     write the text report there instead of stdout
+//   --require-clean   fail (exit 1) if any events were dropped or any
+//                     flow/sync edge is unmatched (profile-mode gate)
+//
+// Exit codes: 0 ok, 1 --require-clean violation or no dump found,
+// 2 usage or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/profile.hpp"
+#include "trace_load.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: collprof [--json FILE] [--augment FILE] [--report FILE]\n"
+        "                [--require-clean] TRACE.json\n";
+  return code;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "collprof: cannot write '" << path << "'\n";
+    return false;
+  }
+  out << body;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string json_path;
+  std::string augment_path;
+  std::string report_path;
+  bool require_clean = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "collprof: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      const char* v = need_value("--json");
+      if (v == nullptr) return usage(std::cerr, 2);
+      json_path = v;
+    } else if (arg == "--augment") {
+      const char* v = need_value("--augment");
+      if (v == nullptr) return usage(std::cerr, 2);
+      augment_path = v;
+    } else if (arg == "--report") {
+      const char* v = need_value("--report");
+      if (v == nullptr) return usage(std::cerr, 2);
+      report_path = v;
+    } else if (arg == "--require-clean") {
+      require_clean = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "collprof: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      std::cerr << "collprof: more than one trace file given\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (trace_path.empty()) {
+    std::cerr << "collprof: no trace file to analyze\n";
+    return usage(std::cerr, 2);
+  }
+
+  const collprof::LoadResult loaded = collprof::load_trace_file(trace_path);
+  if (!loaded.ok()) {
+    for (const std::string& e : loaded.errors) {
+      std::cerr << "collprof: " << trace_path << ": " << e << "\n";
+    }
+    return 2;
+  }
+
+  const collrep::obs::Profile profile =
+      collrep::obs::build_profile(loaded.events, loaded.dropped_events);
+
+  const std::string report = collrep::obs::profile_report(profile);
+  if (report_path.empty()) {
+    std::cout << report;
+  } else if (!write_file(report_path, report)) {
+    return 2;
+  }
+  if (!json_path.empty() &&
+      !write_file(json_path, collrep::obs::profile_json(profile))) {
+    return 2;
+  }
+  if (!augment_path.empty() &&
+      !write_file(augment_path, collrep::obs::augmented_trace_json(
+                                    loaded.events, profile))) {
+    return 2;
+  }
+
+  if (profile.dumps.empty()) {
+    std::cerr << "collprof: no complete \"dump\" span in " << trace_path
+              << " (" << loaded.events.size() << " events)\n";
+    return 1;
+  }
+  if (require_clean &&
+      (profile.dropped_events != 0 || profile.unmatched_flows != 0 ||
+       profile.unmatched_syncs != 0)) {
+    std::cerr << "collprof: trace is incomplete (dropped="
+              << profile.dropped_events
+              << ", unmatched flows=" << profile.unmatched_flows
+              << ", unmatched syncs=" << profile.unmatched_syncs
+              << "); raise the trace capacity\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,372 @@
+#include "trace_load.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace collprof {
+
+namespace {
+
+using collrep::obs::EventKind;
+using collrep::obs::ProfEvent;
+
+// ---- minimal JSON DOM -------------------------------------------------------
+
+struct Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::vector<std::pair<std::string, ValuePtr>> object;  // insertion order
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::vector<std::string>& errors)
+      : s_(text), errors_(errors) {}
+
+  ValuePtr parse() {
+    skip_ws();
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (v != nullptr && pos_ != s_.size()) {
+      fail("trailing data after document");
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (errors_.empty()) {
+      errors_.push_back("JSON parse error at byte " + std::to_string(pos_) +
+                        ": " + what);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr parse_value() {  // NOLINT(misc-no-recursion)
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = s_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string_value();
+      case 't':
+      case 'f':
+        return parse_keyword(c == 't' ? "true" : "false", Value::Type::kBool,
+                             c == 't');
+      case 'n':
+        return parse_keyword("null", Value::Type::kNull, false);
+      default:
+        return parse_number();
+    }
+  }
+
+  ValuePtr parse_keyword(const char* word, Value::Type type, bool boolean) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!consume(*p)) {
+        fail(std::string("bad keyword, expected '") + word + "'");
+        return nullptr;
+      }
+    }
+    auto v = std::make_unique<Value>();
+    v->type = type;
+    v->boolean = boolean;
+    return v;
+  }
+
+  ValuePtr parse_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (begin == pos_) {
+      fail("expected a value");
+      return nullptr;
+    }
+    const std::string tok = s_.substr(begin, pos_ - begin);
+    char* end = nullptr;
+    const double num = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number '" + tok + "'");
+      return nullptr;
+    }
+    auto v = std::make_unique<Value>();
+    v->type = Value::Type::kNumber;
+    v->number = num;
+    return v;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return false;
+    }
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out += esc;
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u':
+            // Trace names are ASCII; keep the reader simple and replace
+            // escaped code points with '?'.
+            if (pos_ + 4 > s_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            pos_ += 4;
+            out += '?';
+            break;
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  ValuePtr parse_string_value() {
+    auto v = std::make_unique<Value>();
+    v->type = Value::Type::kString;
+    if (!parse_string(v->string)) return nullptr;
+    return v;
+  }
+
+  ValuePtr parse_array() {  // NOLINT(misc-no-recursion)
+    (void)consume('[');
+    auto v = std::make_unique<Value>();
+    v->type = Value::Type::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      skip_ws();
+      ValuePtr elem = parse_value();
+      if (elem == nullptr) return nullptr;
+      v->array.push_back(std::move(elem));
+      skip_ws();
+      if (consume(']')) return v;
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return nullptr;
+      }
+    }
+  }
+
+  ValuePtr parse_object() {  // NOLINT(misc-no-recursion)
+    (void)consume('{');
+    auto v = std::make_unique<Value>();
+    v->type = Value::Type::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return nullptr;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return nullptr;
+      }
+      skip_ws();
+      ValuePtr val = parse_value();
+      if (val == nullptr) return nullptr;
+      v->object.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (consume('}')) return v;
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return nullptr;
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::vector<std::string>& errors_;
+};
+
+// ---- event mapping ----------------------------------------------------------
+
+bool kind_of(const std::string& cat, const std::string& ph,
+             const std::string& name, EventKind& out) {
+  if (cat == "phase") {
+    out = ph == "B" ? EventKind::kPhaseBegin : EventKind::kPhaseEnd;
+    return ph == "B" || ph == "E";
+  }
+  if (cat == "collective") {
+    out = ph == "B" ? EventKind::kCollectiveBegin : EventKind::kCollectiveEnd;
+    return ph == "B" || ph == "E";
+  }
+  if (cat == "sync") {
+    out = ph == "B" ? EventKind::kSyncBegin : EventKind::kSyncEnd;
+    return ph == "B" || ph == "E";
+  }
+  if (cat == "comm") {
+    out = name == "send" ? EventKind::kSend : EventKind::kRecv;
+    return name == "send" || name == "recv";
+  }
+  if (cat == "window") {
+    out = name == "put" ? EventKind::kPut : EventKind::kFence;
+    return true;
+  }
+  if (cat == "storage") {
+    out = EventKind::kStoreCommit;
+    return true;
+  }
+  if (cat == "fault") {
+    out = EventKind::kFault;
+    return true;
+  }
+  return false;  // "flow"/"critical" (augmented output) and future cats
+}
+
+std::uint64_t u64_of(const Value* v) {
+  if (v == nullptr) return 0;
+  if (v->type == Value::Type::kNumber) {
+    return v->number < 0 ? 0 : static_cast<std::uint64_t>(v->number);
+  }
+  if (v->type == Value::Type::kString) {
+    return std::strtoull(v->string.c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+}  // namespace
+
+LoadResult load_trace(const std::string& text) {
+  LoadResult result;
+  Parser parser(text, result.errors);
+  const ValuePtr root = parser.parse();
+  if (root == nullptr) return result;
+  if (root->type != Value::Type::kObject) {
+    result.errors.emplace_back("trace root is not an object");
+    return result;
+  }
+  const Value* list = root->find("traceEvents");
+  if (list == nullptr || list->type != Value::Type::kArray) {
+    result.errors.emplace_back("missing traceEvents array");
+    return result;
+  }
+  if (const Value* other = root->find("otherData");
+      other != nullptr && other->type == Value::Type::kObject) {
+    result.dropped_events = u64_of(other->find("dropped_events"));
+  }
+  for (const ValuePtr& ev : list->array) {
+    if (ev->type != Value::Type::kObject) {
+      result.errors.emplace_back("trace event is not an object");
+      return result;
+    }
+    const Value* name = ev->find("name");
+    const Value* cat = ev->find("cat");
+    const Value* ph = ev->find("ph");
+    const Value* ts = ev->find("ts");
+    if (name == nullptr || cat == nullptr || ph == nullptr || ts == nullptr ||
+        ts->type != Value::Type::kNumber) {
+      result.errors.emplace_back("trace event missing name/cat/ph/ts");
+      return result;
+    }
+    EventKind kind{};
+    if (!kind_of(cat->string, ph->string, name->string, kind)) continue;
+    ProfEvent out;
+    out.kind = kind;
+    out.name = name->string;
+    out.rank = static_cast<int>(u64_of(ev->find("tid")));
+    out.run = static_cast<std::uint32_t>(u64_of(ev->find("pid")));
+    // "ts" carries microseconds printed with exactly 3 decimals, so this
+    // recovers the integer nanosecond tick exactly.
+    out.ts_ns = std::llround(ts->number * 1000.0);
+    if (const Value* args = ev->find("args");
+        args != nullptr && args->type == Value::Type::kObject) {
+      out.a = u64_of(args->find("a"));
+      out.b = u64_of(args->find("b"));
+      out.c = u64_of(args->find("c"));
+    }
+    result.events.push_back(std::move(out));
+  }
+  return result;
+}
+
+LoadResult load_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LoadResult result;
+    result.errors.push_back("cannot open '" + path + "'");
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load_trace(buf.str());
+}
+
+}  // namespace collprof

@@ -1,0 +1,33 @@
+// Loader for the Chrome trace-event JSON files Telemetry::trace_json()
+// emits: parses the document with a small recursive-descent JSON reader and
+// maps each trace event back to an obs::ProfEvent (cat + ph + name select
+// the EventKind; args a/b/c carry the causal ids; "ts" microseconds become
+// integer nanosecond ticks with the same rounding collect_events() uses, so
+// a file round trip reproduces the in-memory profile bit-for-bit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+
+namespace collprof {
+
+struct LoadResult {
+  std::vector<collrep::obs::ProfEvent> events;
+  std::uint64_t dropped_events = 0;  // from otherData.dropped_events
+  std::vector<std::string> errors;   // parse/shape problems (empty == clean)
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+// Parse a trace document from memory.  Unknown categories are skipped
+// (forward compatibility); malformed JSON or a missing traceEvents array is
+// reported through `errors`.
+[[nodiscard]] LoadResult load_trace(const std::string& text);
+
+// Convenience: read + parse a file; I/O failures land in `errors`.
+[[nodiscard]] LoadResult load_trace_file(const std::string& path);
+
+}  // namespace collprof
