@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Fault-injection determinism sweep: runs the failure ablation twice per
-# seed and requires bit-identical stdout and metrics JSON.  Seeded victim
-# selection plus the simulated clock make every run reproducible — any
-# divergence here means nondeterminism crept into the fault or repair path.
+# Fault-injection determinism sweep: runs the failure and recovery
+# ablations twice per seed and requires bit-identical stdout and metrics
+# JSON.  Seeded victim selection plus the simulated clock make every run
+# reproducible — any divergence here means nondeterminism crept into the
+# fault, repair, or shrink-recovery path.
 #
 #   scripts/fault_sweep.sh                 # default seeds
 #   scripts/fault_sweep.sh 11 22 33        # explicit seeds
@@ -12,11 +13,13 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
-bench="build/bench/ablate_failures"
-if [[ ! -x "$bench" ]]; then
-  cmake -B build -S .
-  cmake --build build -j --target ablate_failures
-fi
+benches=(ablate_failures ablate_recovery)
+for b in "${benches[@]}"; do
+  if [[ ! -x "build/bench/$b" ]]; then
+    cmake -B build -S .
+    cmake --build build -j --target "$b"
+  fi
+done
 
 seeds=("$@")
 if [[ ${#seeds[@]} -eq 0 ]]; then
@@ -27,19 +30,21 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 fail=0
-for seed in "${seeds[@]}"; do
-  for run in a b; do
-    "$bench" --seed="$seed" --metrics="$tmp/$seed.$run.json" \
-      > "$tmp/$seed.$run.txt" 2> /dev/null
+for b in "${benches[@]}"; do
+  for seed in "${seeds[@]}"; do
+    for run in a b; do
+      "build/bench/$b" --seed="$seed" --metrics="$tmp/$b.$seed.$run.json" \
+        > "$tmp/$b.$seed.$run.txt" 2> /dev/null
+    done
+    if cmp -s "$tmp/$b.$seed.a.json" "$tmp/$b.$seed.b.json" &&
+       cmp -s "$tmp/$b.$seed.a.txt" "$tmp/$b.$seed.b.txt"; then
+      echo "$b seed $seed: OK (stdout and metrics bit-identical)"
+    else
+      echo "$b seed $seed: FAIL (runs diverged)" >&2
+      diff "$tmp/$b.$seed.a.txt" "$tmp/$b.$seed.b.txt" >&2 || true
+      fail=1
+    fi
   done
-  if cmp -s "$tmp/$seed.a.json" "$tmp/$seed.b.json" &&
-     cmp -s "$tmp/$seed.a.txt" "$tmp/$seed.b.txt"; then
-    echo "seed $seed: OK (stdout and metrics bit-identical)"
-  else
-    echo "seed $seed: FAIL (runs diverged)" >&2
-    diff "$tmp/$seed.a.txt" "$tmp/$seed.b.txt" >&2 || true
-    fail=1
-  fi
 done
 
 if [[ "$fail" -ne 0 ]]; then

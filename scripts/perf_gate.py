@@ -52,6 +52,15 @@ RULESETS = {
         (r"^(dropped_events|unmatched_flows|unmatched_syncs)$",
          "lower", 0.0, 0.0),
     ],
+    "recovery_*": [  # ablate_recovery --metrics JSON (simulated time, so
+        # deterministic; tolerance only absorbs FP drift).  The byte
+        # counters are exact ratchets: the rebalance must keep shipping
+        # only the replica shortfall.
+        (r"^gauges\.recover\.last\.(total_time_s|agreement_time_s)$",
+         "lower", 0.02, 1e-6),
+        (r"^histograms\.recover\.latency_s\.(sum|max)$", "lower", 0.02, 1e-6),
+        (r"^counters\.recover\.rereplicated_bytes$", "lower", 0.0, 0.0),
+    ],
     "BENCH_*": [  # other bench reports: any throughput-named leaf
         (r".*(_gbps|_per_s|speedup)([.].*)?$", "higher", 0.10, 0.0),
     ],

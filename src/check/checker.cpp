@@ -119,6 +119,12 @@ void Checker::report(Violation v, bool may_throw) {
 void Checker::run_begin(int nranks, std::function<void()> abort_run) {
   stop_watchdog();  // defensive: a previous run must already have ended
   nranks_ = nranks;
+  live_.store(nranks);
+  dead_ = std::make_unique<std::atomic<std::uint8_t>[]>(
+      static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    dead_[static_cast<std::size_t>(r)].store(0);
+  }
   {
     std::scoped_lock lk(coll_mu_);
     rank_seq_.assign(static_cast<std::size_t>(nranks), 0);
@@ -178,6 +184,13 @@ std::exception_ptr Checker::run_end(bool aborted) {
   {
     std::scoped_lock lk(msg_mu_);
     for (const auto& [key, count] : in_flight_) {
+      // Channels touching a dead rank are expected residue of a contained
+      // failure (the runtime drained them at the shrink), not leaks.
+      const auto& [src, dst, tag] = key;
+      if (dead_ && (dead_[static_cast<std::size_t>(src)].load() != 0 ||
+                    dead_[static_cast<std::size_t>(dst)].load() != 0)) {
+        continue;
+      }
       if (count > 0) leaks.emplace_back(key, count);
     }
   }
@@ -246,7 +259,12 @@ void Checker::on_collective(int rank, const simmpi::CollFingerprint& fp,
                  std::to_string(rank) + " entered " + fmt_fingerprint(fp) +
                  " at " + v.site + " but rank " + std::to_string(slot.rank) +
                  " entered " + fmt_fingerprint(slot.fp) + " at " + v.other_site;
-    } else if (++slot.arrived == nranks_) {
+    } else if (++slot.arrived >= live_.load()) {
+      // Complete once every live rank arrived (== nranks_ while nobody
+      // died).  A dead rank that managed to arrive before dying can push
+      // the count past the threshold one arrival early; the stragglers
+      // then deposit a fresh slot that on_shrink clears — transient and
+      // harmless, since erase only happens on matching fingerprints.
       slots_.erase(it);
     }
   }
@@ -370,7 +388,61 @@ void Checker::on_win_free(int /*rank*/, int win) {
   beat();
   std::scoped_lock lk(win_mu_);
   const auto wit = wins_.find(win);
-  if (wit != wins_.end() && ++wit->second.freed == nranks_) wins_.erase(wit);
+  if (wit != wins_.end() && ++wit->second.freed >= live_.load()) {
+    wins_.erase(wit);
+  }
+}
+
+// -- failure containment ------------------------------------------------------
+
+void Checker::on_rank_dead(int rank) {
+  beat();
+  dead_[static_cast<std::size_t>(rank)].store(1);
+  const int live = live_.fetch_sub(1) - 1;
+  {
+    std::scoped_lock lk(coll_mu_);
+    progress_[static_cast<std::size_t>(rank)].dead = true;
+    // Collectives that were only waiting on the dead rank are complete
+    // among the survivors now.
+    for (auto it = slots_.begin(); it != slots_.end();) {
+      it = it->second.arrived >= live ? slots_.erase(it) : std::next(it);
+    }
+  }
+  {
+    std::scoped_lock lk(win_mu_);
+    for (auto it = wins_.begin(); it != wins_.end();) {
+      it = it->second.freed >= live ? wins_.erase(it) : std::next(it);
+    }
+  }
+}
+
+void Checker::on_shrink(const std::vector<int>& alive_world) {
+  beat();
+  // Runs with every survivor parked in the shrink rendezvous, so this is
+  // the one place cross-rank state can be rebuilt exclusively.
+  {
+    std::scoped_lock lk(coll_mu_);
+    // Survivors diverged while the failure unwound (some entered one more
+    // collective than others before throwing); restart them from a common
+    // sequence number so post-shrink fingerprints line up again.
+    std::uint64_t max_seq = 0;
+    for (int r : alive_world) {
+      max_seq = std::max(max_seq, rank_seq_[static_cast<std::size_t>(r)]);
+    }
+    for (int r : alive_world) {
+      rank_seq_[static_cast<std::size_t>(r)] = max_seq;
+      progress_[static_cast<std::size_t>(r)].depth = 0;
+    }
+    slots_.clear();
+  }
+  {
+    std::scoped_lock lk(win_mu_);
+    wins_.clear();  // old-world windows died with their epochs
+  }
+  {
+    std::scoped_lock lk(msg_mu_);
+    in_flight_.clear();  // the runtime drained every mailbox
+  }
 }
 
 // -- watchdog ---------------------------------------------------------------
@@ -382,7 +454,9 @@ std::string Checker::stuck_report() {
     if (!out.empty()) out += "; ";
     const auto& prog = progress_[static_cast<std::size_t>(r)];
     out += "rank " + std::to_string(r);
-    if (!prog.any) {
+    if (prog.dead) {
+      out += ": dead (contained failure)";
+    } else if (!prog.any) {
       out += ": no collective activity";
     } else {
       out += prog.depth > 0 ? ": inside " : ": last completed ";

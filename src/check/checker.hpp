@@ -49,6 +49,7 @@
 #include <cstdint>
 #include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -165,6 +166,11 @@ class Checker final : public simmpi::CheckHook {
               std::size_t bytes, simmpi::CallSite site) override;
   void on_fence(int rank, int win, unsigned flags) override;
   void on_win_free(int rank, int win) override;
+  // Failure containment: a dead rank leaves the heartbeat/lockstep set (so
+  // survivors are never reported as stuck on a corpse), and a shrink
+  // realigns all cross-rank state over the survivors.
+  void on_rank_dead(int rank) override;
+  void on_shrink(const std::vector<int>& alive_world) override;
 
  private:
   // What one rank last did, for the watchdog's stuck report.  Guarded by
@@ -175,6 +181,7 @@ class Checker final : public simmpi::CheckHook {
     std::string site;
     int depth = 0;  // >0: inside a collective (nested ones count)
     bool any = false;
+    bool dead = false;  // contained fail-stop failure; exempt from lockstep
   };
 
   // First-arrival deposit for one collective sequence number.
@@ -218,6 +225,12 @@ class Checker final : public simmpi::CheckHook {
   CheckerConfig config_;
   obs::Telemetry* telemetry_ = nullptr;
   int nranks_ = 0;
+  // Containment-mode membership mirror: collectives/win-frees complete
+  // once every *live* rank arrived, and dead ranks' channels are exempt
+  // from the finalize leak audit.  Atomics because the three check
+  // families read them under different mutexes.
+  std::atomic<int> live_{0};
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dead_;
 
   std::atomic<std::uint64_t> heartbeat_{0};
   std::atomic<std::uint64_t> collectives_checked_{0};

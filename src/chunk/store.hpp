@@ -128,6 +128,29 @@ class ChunkStore {
     return &*it->second;
   }
 
+  // Removes and returns the manifest held for `owner_rank` (nullopt if
+  // none).  The shrink rebalance uses this to re-key surviving manifests
+  // under the post-shrink dense numbering without copying them.
+  [[nodiscard]] std::optional<Manifest> take_manifest(int owner_rank) {
+    check_alive();
+    const auto it = manifests_.find(owner_rank);
+    if (it == manifests_.end()) return std::nullopt;
+    std::optional<Manifest> out = std::move(it->second);
+    manifests_.erase(it);
+    return out;
+  }
+
+  // Visits every held manifest as (owner_rank, manifest), ascending by
+  // owner rank; throws if failed.  The recovery service uses this to build
+  // the post-shrink chunk requirement map.
+  template <class Fn>
+  void for_each_manifest(Fn&& fn) const {
+    check_alive();
+    for (const auto& [owner, slot] : manifests_) {
+      if (slot.has_value()) fn(owner, *slot);
+    }
+  }
+
   // -- failure injection ----------------------------------------------------
   // Two recovery modes model two distinct hardware outcomes:
   //  * recover(): transient outage (power cut, controller reset, network

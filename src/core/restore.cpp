@@ -4,19 +4,64 @@
 
 namespace collrep::core {
 
+namespace detail {
+
+std::string manifest_lost_message(int rank, int consulted, int failed) {
+  std::string out =
+      "restore: no surviving manifest for rank " + std::to_string(rank);
+  if (consulted >= 0) {
+    out += " (" + std::to_string(consulted) + " store(s) consulted";
+    if (failed >= 0) out += ", " + std::to_string(failed) + " failed";
+    out += ')';
+  }
+  return out;
+}
+
+std::string chunk_lost_message(const hash::Fingerprint* fp, int owner_rank,
+                               int consulted, int failed) {
+  std::string out = "restore: chunk ";
+  if (fp != nullptr) {
+    out += fp->hex().substr(0, 12);
+    out += "... ";
+  }
+  if (owner_rank >= 0) {
+    out += "of rank " + std::to_string(owner_rank) + "'s dataset ";
+  }
+  out += "is not available on any surviving store";
+  if (consulted >= 0) {
+    out += " (" + std::to_string(consulted) + " store(s) consulted";
+    if (failed >= 0) out += ", " + std::to_string(failed) + " failed";
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace detail
+
 namespace {
 
-const chunk::Manifest* newest_manifest(
-    std::span<chunk::ChunkStore* const> stores, int rank) {
-  const chunk::Manifest* best = nullptr;
+struct StoreScan {
+  const chunk::Manifest* manifest = nullptr;
+  int consulted = 0;  // alive stores examined
+  int failed = 0;     // failed/absent stores skipped
+};
+
+StoreScan newest_manifest(std::span<chunk::ChunkStore* const> stores,
+                          int rank) {
+  StoreScan scan;
   for (const chunk::ChunkStore* store : stores) {
-    if (store == nullptr || store->failed()) continue;
+    if (store == nullptr || store->failed()) {
+      ++scan.failed;
+      continue;
+    }
+    ++scan.consulted;
     const chunk::Manifest* m = store->manifest_for(rank);
-    if (m != nullptr && (best == nullptr || m->epoch > best->epoch)) {
-      best = m;
+    if (m != nullptr && (scan.manifest == nullptr ||
+                         m->epoch > scan.manifest->epoch)) {
+      scan.manifest = m;
     }
   }
-  return best;
+  return scan;
 }
 
 }  // namespace
@@ -26,8 +71,11 @@ RestoreResult restore_rank(std::span<chunk::ChunkStore* const> stores,
   if (rank < 0 || static_cast<std::size_t>(rank) >= stores.size()) {
     throw std::out_of_range("restore: rank outside store set");
   }
-  const chunk::Manifest* manifest = newest_manifest(stores, rank);
-  if (manifest == nullptr) throw ManifestLostError(rank);
+  const StoreScan scan = newest_manifest(stores, rank);
+  const chunk::Manifest* manifest = scan.manifest;
+  if (manifest == nullptr) {
+    throw ManifestLostError(rank, scan.consulted, scan.failed);
+  }
 
   RestoreResult out;
   out.segments.reserve(manifest->segment_sizes.size());
@@ -73,7 +121,9 @@ RestoreResult restore_rank(std::span<chunk::ChunkStore* const> stores,
         }
       }
     }
-    if (!found) throw ChunkLostError{};
+    if (!found) {
+      throw ChunkLostError(entry.fp, rank, scan.consulted, scan.failed);
+    }
     if (payload.size() != entry.length) {
       throw std::runtime_error("restore: chunk length mismatch (collision?)");
     }
@@ -111,7 +161,8 @@ std::pair<RestoreResult, CollectiveRestoreStats> restore_input(
   std::vector<std::uint64_t> node_read(
       static_cast<std::size_t>(cluster.node_count(n)), 0);
   for (int r = 0; r < n; ++r) {
-    node_read[static_cast<std::size_t>(cluster.node_of(r))] +=
+    // Dense group rank -> world rank -> node: correct after a shrink.
+    node_read[static_cast<std::size_t>(cluster.node_of(comm.world_of(r)))] +=
         all_local[static_cast<std::size_t>(r)] +
         all_remote[static_cast<std::size_t>(r)];
   }

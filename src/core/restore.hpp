@@ -7,26 +7,78 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "chunk/store.hpp"
+#include "hash/fingerprint.hpp"
 #include "simmpi/comm.hpp"
 
 namespace collrep::core {
 
+namespace detail {
+[[nodiscard]] std::string manifest_lost_message(int rank, int consulted,
+                                                int failed);
+[[nodiscard]] std::string chunk_lost_message(const hash::Fingerprint* fp,
+                                             int owner_rank, int consulted,
+                                             int failed);
+}  // namespace detail
+
+// The degraded-restore errors carry enough to make a failing test
+// actionable: which dataset, which chunk (fingerprint hex prefix), and how
+// many stores were consulted vs. already failed when the search gave up.
+// `stores_consulted`/`stores_failed` are -1 when the throw site did not
+// track them (legacy call sites).
 class ManifestLostError : public std::runtime_error {
  public:
-  explicit ManifestLostError(int rank)
-      : std::runtime_error("restore: no surviving manifest for rank " +
-                           std::to_string(rank)) {}
+  explicit ManifestLostError(int rank, int stores_consulted = -1,
+                             int stores_failed = -1)
+      : std::runtime_error(detail::manifest_lost_message(rank, stores_consulted,
+                                                         stores_failed)),
+        rank_(rank),
+        consulted_(stores_consulted),
+        failed_(stores_failed) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int stores_consulted() const noexcept { return consulted_; }
+  [[nodiscard]] int stores_failed() const noexcept { return failed_; }
+
+ private:
+  int rank_;
+  int consulted_;
+  int failed_;
 };
 
 class ChunkLostError : public std::runtime_error {
  public:
   ChunkLostError()
-      : std::runtime_error(
-            "restore: a chunk is not available on any surviving store") {}
+      : std::runtime_error(detail::chunk_lost_message(nullptr, -1, -1, -1)) {}
+
+  ChunkLostError(const hash::Fingerprint& fp, int owner_rank,
+                 int stores_consulted = -1, int stores_failed = -1)
+      : std::runtime_error(detail::chunk_lost_message(
+            &fp, owner_rank, stores_consulted, stores_failed)),
+        fp_(fp),
+        has_fp_(true),
+        owner_rank_(owner_rank),
+        consulted_(stores_consulted),
+        failed_(stores_failed) {}
+
+  // Fingerprint of the missing chunk; all-zero when unknown (has_fp()).
+  [[nodiscard]] const hash::Fingerprint& fp() const noexcept { return fp_; }
+  [[nodiscard]] bool has_fp() const noexcept { return has_fp_; }
+  // Rank whose dataset needed the chunk; -1 when unknown.
+  [[nodiscard]] int owner_rank() const noexcept { return owner_rank_; }
+  [[nodiscard]] int stores_consulted() const noexcept { return consulted_; }
+  [[nodiscard]] int stores_failed() const noexcept { return failed_; }
+
+ private:
+  hash::Fingerprint fp_;
+  bool has_fp_ = false;
+  int owner_rank_ = -1;
+  int consulted_ = -1;
+  int failed_ = -1;
 };
 
 struct RestoreResult {

@@ -78,7 +78,9 @@ void FaultSchedule::at_point(int rank, const char* point,
                              std::uint64_t epoch, double sim_now) {
   for (std::size_t i = 0; i < events_.size(); ++i) {
     EventState& ev = events_[i];
-    if (ev.fired || ev.event.rank != rank) continue;
+    // Rank filter first: `fired`/`skipped` are mutable and owned by the
+    // event's own rank thread, so no other thread may even read them.
+    if (ev.event.rank != rank || ev.fired) continue;
     if (ev.event.epoch != simmpi::FaultHook::kAnyEpoch &&
         ev.event.epoch != epoch) {
       continue;

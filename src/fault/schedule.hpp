@@ -6,9 +6,11 @@
 // rank, and optionally a checkpoint epoch and a skip count of earlier
 // matching visits.  When a rank thread reaches a matching point the event
 // fires exactly once: it fails / wipes / recovers a store armed via arm(),
-// or throws RankKilledError to kill the rank itself (the run then aborts
-// and Runtime::run() rethrows — modeling fail-stop without fault-tolerant
-// collectives; recovery goes through restore + repair).
+// or throws RankKilledError to kill the rank itself.  By default the run
+// then aborts and Runtime::run() rethrows (fail-stop without fault-
+// tolerant collectives; recovery goes through restore + repair); with
+// RuntimeOptions::contain_failures the kill is absorbed by the runtime and
+// the survivors shrink and continue (see recover::RecoveryService).
 //
 // Determinism: events fire on the target rank's own thread at program
 // points that are deterministic per rank, so the same schedule over the
@@ -32,19 +34,16 @@ class Telemetry;
 
 namespace collrep::fault {
 
-// Thrown on the consulting rank's thread by a kKillRank event; the simmpi
-// runtime aborts the run and rethrows it from Runtime::run().
-class RankKilledError : public std::runtime_error {
+// Thrown on the consulting rank's thread by a kKillRank event.  Derives
+// from simmpi::RankFailure so the runtime can recognize the fail-stop
+// death: without containment it aborts the run and Runtime::run()
+// rethrows; with RuntimeOptions::contain_failures the rank simply dies
+// and the survivors carry on.
+class RankKilledError : public simmpi::RankFailure {
  public:
   RankKilledError(int rank, const std::string& point)
-      : std::runtime_error("fault: rank " + std::to_string(rank) +
-                           " killed at " + point),
-        rank_(rank) {}
-
-  [[nodiscard]] int rank() const noexcept { return rank_; }
-
- private:
-  int rank_;
+      : simmpi::RankFailure(rank, "fault: rank " + std::to_string(rank) +
+                                      " killed at " + point) {}
 };
 
 enum class FaultAction : std::uint8_t {

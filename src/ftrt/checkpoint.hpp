@@ -16,6 +16,7 @@
 #include "core/repair.hpp"
 #include "core/restore.hpp"
 #include "ftrt/tracked_arena.hpp"
+#include "recover/service.hpp"
 
 namespace collrep::ftrt {
 
@@ -26,6 +27,11 @@ enum class DegradedPolicy : std::uint8_t {
   kAccept,     // keep the degraded checkpoint as-is (paper baseline: the
                // next scheduled dump re-replicates naturally)
   kRepair,     // run core::repair_replicas to top the replicas back to K
+  kShrink,     // survive rank deaths: when a dump dies with RankDeadError
+               // (RuntimeOptions::contain_failures), run the configured
+               // recover::RecoveryService and re-dump in the shrunken
+               // world; degraded-but-complete dumps are kept as-is (the
+               // recovery rebalance already topped surviving chunks up)
 };
 
 class DegradedDumpError : public std::runtime_error {
@@ -59,6 +65,9 @@ struct CheckpointConfig {
   // outage is transient and the store recovers between attempts; 0 means
   // the policy applies to the first degraded attempt directly).
   int max_dump_retries = 0;
+  // Required by DegradedPolicy::kShrink: the recovery service driven when
+  // a dump observes a rank death.  Must outlive the runtime.
+  recover::RecoveryService* recovery = nullptr;
 };
 
 class CheckpointRuntime {
@@ -88,16 +97,20 @@ class CheckpointRuntime {
   // same branch.
   core::DumpStats checkpoint_now(
       std::span<chunk::ChunkStore* const> stores = {}) {
-    core::DumpStats stats = dump_attempt();
+    core::DumpStats stats = shielded_dump_attempt();
     for (int retry = 0; stats.degraded && retry < config_.max_dump_retries;
          ++retry) {
-      stats = dump_attempt();
+      stats = shielded_dump_attempt();
     }
     if (stats.degraded) {
       switch (config_.on_degraded) {
         case DegradedPolicy::kAbort:
           throw DegradedDumpError(stats);
         case DegradedPolicy::kAccept:
+        case DegradedPolicy::kShrink:
+          // kShrink keeps a degraded-but-complete dump: the recovery
+          // rebalance already restored K_eff for everything that survived,
+          // and the next scheduled dump re-replicates naturally.
           break;
         case DegradedPolicy::kRepair:
           if (static_cast<int>(stores.size()) != comm_.size()) {
@@ -119,6 +132,12 @@ class CheckpointRuntime {
   [[nodiscard]] const std::optional<core::RepairStats>& last_repair()
       const noexcept {
     return last_repair_;
+  }
+
+  // Stats of the most recent shrink recovery, if any ran (kShrink).
+  [[nodiscard]] const std::optional<recover::RecoveryStats>& last_recovery()
+      const noexcept {
+    return last_recovery_;
   }
 
   // Restart path: rebuild this rank's most recent checkpoint from the
@@ -143,6 +162,33 @@ class CheckpointRuntime {
     return dumper.dump_output(arena_.snapshot(), config_.replication_factor);
   }
 
+  // Under kShrink a dump that dies with RankDeadError (a rank was killed
+  // and the runtime contained it) is recovered and re-attempted in the
+  // shrunken world under a fresh epoch.  Every survivor takes the same
+  // path: the containment protocol raises RankDeadError uniformly at the
+  // collective where the death surfaced.  Each round absorbs at least one
+  // death, so the loop is bounded by the pre-loop world size.
+  core::DumpStats shielded_dump_attempt() {
+    if (config_.on_degraded != DegradedPolicy::kShrink) {
+      return dump_attempt();
+    }
+    if (config_.recovery == nullptr) {
+      throw std::logic_error(
+          "checkpoint_now: DegradedPolicy::kShrink needs a "
+          "RecoveryService (CheckpointConfig::recovery)");
+    }
+    const int bound = comm_.size() + 1;
+    for (int round = 0; round < bound; ++round) {
+      try {
+        return dump_attempt();
+      } catch (const simmpi::RankDeadError&) {
+        last_recovery_ = config_.recovery->recover_world(comm_);
+      }
+    }
+    throw std::logic_error(
+        "checkpoint_now: shrink recovery did not converge");
+  }
+
   simmpi::Comm& comm_;
   chunk::ChunkStore& store_;
   TrackedArena& arena_;
@@ -150,6 +196,7 @@ class CheckpointRuntime {
   std::uint64_t next_epoch_ = 1;
   std::vector<core::DumpStats> history_;
   std::optional<core::RepairStats> last_repair_;
+  std::optional<recover::RecoveryStats> last_recovery_;
 };
 
 // Deterministic failure injection for the restart tests: kills up to

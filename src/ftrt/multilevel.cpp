@@ -59,7 +59,8 @@ PfsDumpStats pfs_dump(simmpi::Comm& comm, PfsStore& pfs,
 
 core::RestoreResult pfs_restore(const PfsStore& pfs, int rank) {
   const auto manifest = pfs.manifest_for(rank);
-  if (!manifest.has_value()) throw core::ManifestLostError(rank);
+  // The PFS is one logical store: 1 consulted, 0 failed.
+  if (!manifest.has_value()) throw core::ManifestLostError(rank, 1, 0);
 
   core::RestoreResult out;
   out.segments.reserve(manifest->segment_sizes.size());
@@ -77,7 +78,9 @@ core::RestoreResult pfs_restore(const PfsStore& pfs, int rank) {
       throw std::runtime_error("pfs_restore: manifest exceeds segments");
     }
     const auto payload = pfs.get(entry.fp);
-    if (!payload.has_value()) throw core::ChunkLostError{};
+    if (!payload.has_value()) {
+      throw core::ChunkLostError(entry.fp, rank, 1, 0);
+    }
     if (payload->size() != entry.length) {
       throw std::runtime_error("pfs_restore: chunk length mismatch");
     }

@@ -1,0 +1,116 @@
+// Shrink-and-continue recovery (ReStore-style; the paper's redundancy
+// observation applied to restart instead of the dump).
+//
+// When RuntimeOptions::contain_failures absorbs a rank death, survivors
+// learn about it as RankDeadError at their next collective.  Every
+// survivor then calls RecoveryService::recover_world(), which
+//
+//   1. drives Comm::shrink() — the ULFM-style failure agreement that
+//      re-ranks the survivors densely;
+//   2. marks the dead ranks' stores failed and hands each orphaned
+//      dataset to a deterministic adopter, rebuilt byte-identical from
+//      the surviving replicas;
+//   3. re-keys the surviving manifests under the post-shrink dense
+//      numbering;
+//   4. re-replicates exactly the shortfall the deaths opened, using the
+//      same HMERGE-style replica audit as core::repair_replicas.  Chunks
+//      whose fingerprints already sit on >= K_eff survivors — the
+//      naturally distributed duplicates — satisfy the new distribution
+//      at zero shipping cost, and the stats account them separately so
+//      the saving is measurable.
+//
+// The service holds no per-run mutable state: one instance is shared by
+// all rank threads (like fault::FaultSchedule) and recover_world() is safe to
+// call concurrently from every survivor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chunk/store.hpp"
+#include "core/repair.hpp"
+#include "core/restore.hpp"
+#include "simmpi/comm.hpp"
+
+namespace collrep::recover {
+
+struct RecoveryConfig {
+  // Replication factor the dump pipeline targets (K); the rebalance tops
+  // every surviving chunk back up to min(K, survivors).
+  int replication = 1;
+  // Restore dead ranks' datasets onto surviving adopters.  With payload
+  // stores the adopter receives the byte-identical segments; with
+  // accounting stores only the byte counts are tracked.
+  bool adopt_orphans = true;
+};
+
+// One dead rank's dataset, rebuilt on its adopter from surviving replicas.
+struct OrphanData {
+  int world_rank = -1;  // the dead rank, world numbering
+  int prev_rank = -1;   // its dense rank before the shrink (manifest key)
+  std::uint64_t bytes = 0;  // dataset payload bytes (manifest total)
+  // Byte-identical to the dead rank's last committed dump.  Empty for
+  // accounting-mode stores (no payloads retained).
+  std::vector<std::vector<std::uint8_t>> segments;
+};
+
+struct RecoveryStats {
+  // -- membership (identical on every survivor) -----------------------------
+  std::uint64_t shrink_epoch = 0;  // monotonic shrink counter
+  int deaths = 0;                  // deaths absorbed by this shrink
+  int world_size_after = 0;        // survivors (new comm size)
+  int k_requested = 0;
+  int k_effective = 0;  // min(K, alive survivor stores)
+
+  // -- dedup-aware rebalance (global; identical on every survivor) ----------
+  std::uint64_t chunks_total = 0;  // distinct fingerprints on survivors
+  // Already at >= K_eff replicas across survivors: the new distribution is
+  // satisfied for free by naturally distributed duplicates.
+  std::uint64_t dedup_satisfied_chunks = 0;
+  std::uint64_t dedup_satisfied_bytes = 0;
+  // Shortfall actually shipped through the window exchange.
+  std::uint64_t rereplicated_chunks = 0;  // replica copies shipped
+  std::uint64_t rereplicated_bytes = 0;
+
+  // -- orphan adoption -------------------------------------------------------
+  std::uint64_t orphans_adopted = 0;     // by this rank
+  std::uint64_t orphan_bytes = 0;        // by this rank
+  std::uint64_t orphan_bytes_total = 0;  // global
+  std::vector<OrphanData> orphans;       // adopted by this rank
+
+  // -- timing (aligned; identical on every survivor) -------------------------
+  double agreement_time_s = 0.0;  // failure agreement + shrink rendezvous
+  double total_time_s = 0.0;      // agreement start -> recovery complete
+};
+
+class RecoveryService {
+ public:
+  // `stores[w]` is WORLD rank w's device — the same span the dump pipeline
+  // and fault::FaultSchedule::arm() use; it keeps this indexing across
+  // shrinks (Comm::world_of maps dense ranks back onto it).  The pointees
+  // must outlive the service.
+  RecoveryService(std::span<chunk::ChunkStore* const> stores,
+                  RecoveryConfig config);
+
+  // Collective: every survivor must call it after observing RankDeadError
+  // (or to absorb pending deaths proactively).  On return the communicator
+  // is densely re-ranked, dead stores are failed, manifests are re-keyed,
+  // every surviving chunk is back at K_eff replicas, and the caller holds
+  // any orphaned datasets it adopted.  Throws core::ChunkLostError /
+  // core::ManifestLostError (on every survivor, deterministically) when
+  // the deaths exceeded what the replication factor could tolerate.
+  // Stats are published under "recover.*" in the attached metrics
+  // registry, and the phase is traced as "recover".
+  [[nodiscard]] RecoveryStats recover_world(simmpi::Comm& comm) const;
+
+  [[nodiscard]] const RecoveryConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::vector<chunk::ChunkStore*> stores_;  // world-indexed; immutable
+  RecoveryConfig config_;
+};
+
+}  // namespace collrep::recover

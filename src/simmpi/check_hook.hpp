@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <source_location>
+#include <vector>
 
 namespace collrep::simmpi {
 
@@ -131,6 +132,22 @@ class CheckHook {
                       std::size_t bytes, CallSite site) = 0;
   virtual void on_fence(int rank, int win, unsigned flags) = 0;
   virtual void on_win_free(int rank, int win) = 0;
+
+  // -- failure containment (RuntimeOptions::contain_failures) ---------------
+  // `rank` (world numbering) died of an injected fail-stop failure; called
+  // once, on the dying rank's own thread, before its death is published to
+  // the runtime.  The rank makes no further progress: the checker must
+  // deregister it from the heartbeat/stuck accounting so survivors are not
+  // reported as waiting on a corpse.
+  virtual void on_rank_dead(int rank) { (void)rank; }
+  // The failure-agreement step of Comm::shrink() completed: `alive_world`
+  // holds the surviving world ranks (ascending).  Called exactly once per
+  // shrink, on the last parking rank's thread while every other survivor is
+  // still parked in the rendezvous — the checker may rebuild cross-rank
+  // state (collective sequence alignment, in-flight channels) exclusively.
+  virtual void on_shrink(const std::vector<int>& alive_world) {
+    (void)alive_world;
+  }
 };
 
 }  // namespace collrep::simmpi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 
 namespace collrep::simmpi {
@@ -11,9 +12,10 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::uint8_t> data) {
   if (dst < 0 || dst >= size()) {
     throw std::out_of_range("simmpi: send to invalid rank");
   }
+  const int wdst = group_[static_cast<std::size_t>(dst)];
   // Before the mailbox push, so the checker observes a message's send
-  // strictly before its receive.
-  if (check_) check_->on_send(rank_, dst, tag, data.size());
+  // strictly before its receive.  Checker/obs/topology stay world-keyed.
+  if (check_) check_->on_send(rank_, wdst, tag, data.size());
   const auto& cl = cluster();
   if (obs_) {
     auto& cs = obs_->comm;
@@ -22,8 +24,8 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::uint8_t> data) {
     auto& per_tag = cs.sent_by_tag[tag];
     ++per_tag.messages;
     per_tag.bytes += data.size();
-    (cl.same_node(rank_, dst) ? cs.intra_node_sent_bytes
-                              : cs.inter_node_sent_bytes) += data.size();
+    (cl.same_node(rank_, wdst) ? cs.intra_node_sent_bytes
+                               : cs.inter_node_sent_bytes) += data.size();
   }
   // Sender-side copy-out overhead, then in-flight latency/bandwidth.
   clock_.advance(static_cast<double>(data.size()) / cl.mem_bandwidth_bps);
@@ -32,20 +34,27 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::uint8_t> data) {
       static_cast<std::uint32_t>(flow_seq_++);
   if (obs_) {
     obs_->event(obs::EventKind::kSend, clock_.now(), "send", data.size(),
-                static_cast<std::uint64_t>(dst), flow);
+                static_cast<std::uint64_t>(wdst), flow);
   }
   detail::Message msg{
       std::vector<std::uint8_t>(data.begin(), data.end()),
-      clock_.now() + cl.message_time(rank_, dst, data.size()), flow};
-  state_->mailbox(dst).push(rank_, tag, std::move(msg));
+      clock_.now() + cl.message_time(rank_, wdst, data.size()), flow};
+  state_->mailbox(wdst).push(rank_, tag, std::move(msg));
 }
 
 std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag) {
   if (src < 0 || src >= size()) {
     throw std::out_of_range("simmpi: recv from invalid rank");
   }
-  auto msg = state_->mailbox(rank_).pop(src, tag, state_->aborted());
-  if (check_) check_->on_recv(rank_, src, tag, msg.payload.size());
+  const int wsrc = group_[static_cast<std::size_t>(src)];
+  detail::Message msg;
+  try {
+    msg = state_->mailbox(rank_).pop(wsrc, tag, *state_);
+  } catch (const RankDeadError&) {
+    fail_pending_ = true;
+    throw;
+  }
+  if (check_) check_->on_recv(rank_, wsrc, tag, msg.payload.size());
   if (obs_) {
     ++obs_->comm.recv_messages;
     obs_->comm.recv_bytes += msg.payload.size();
@@ -57,12 +66,14 @@ std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag) {
     // Stamped after the arrival/copy-in advance: ts is when the receive
     // completed, so the matching kSend -> kRecv edge spans the flight time.
     obs_->event(obs::EventKind::kRecv, clock_.now(), "recv",
-                msg.payload.size(), static_cast<std::uint64_t>(src), msg.flow);
+                msg.payload.size(), static_cast<std::uint64_t>(wsrc),
+                msg.flow);
   }
   return std::move(msg.payload);
 }
 
 void Comm::barrier(std::source_location loc) {
+  raise_pending_failure();
   check_collective(CollFingerprint{.op = CollOp::kBarrier}, loc);
   const std::uint64_t gen = sync_seq_++;
   if (obs_) {
@@ -70,14 +81,74 @@ void Comm::barrier(std::source_location loc) {
     obs_->event(obs::EventKind::kSyncBegin, clock_.now(), "barrier", 0, 0,
                 gen);
   }
-  clock_.at_least(state_->sync(clock_.now()));
+  RunState::SyncResult sr;
+  try {
+    sr = state_->sync(clock_.now());
+  } catch (const RankDeadError&) {
+    fail_pending_ = true;
+    throw;
+  }
+  clock_.at_least(sr.release);
   if (obs_) {
     obs_->event(obs::EventKind::kSyncEnd, clock_.now(), "barrier", 0, 0, gen);
   }
   check_collective_done();
+  if (sr.deaths > known_deaths_) {
+    // A peer died since the last agreement.  Every survivor observes the
+    // same death count at the same rendezvous, so all of them throw here
+    // uniformly — the collective completed, the *world* is what failed.
+    fail_pending_ = true;
+    throw RankDeadError{};
+  }
+}
+
+Comm::ShrinkInfo Comm::shrink() {
+  const double entry = clock_.now();
+  const auto res = state_->shrink_rendezvous(rank_, entry);
+  clock_.at_least(res.release);
+
+  ShrinkInfo info;
+  info.epoch = res.epoch;
+  info.agreement_start_s = res.start;
+  info.alive_world = res.alive;
+  info.prev_group_world = group_;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (!std::binary_search(res.alive.begin(), res.alive.end(), group_[i])) {
+      info.dead.push_back(
+          ShrinkInfo::Dead{static_cast<int>(i), group_[i]});
+    }
+  }
+
+  // Dense re-rank over the survivors.  res.alive is ascending and every
+  // previous group member that did not die is in it, so the new group
+  // preserves the relative order of survivors.
+  group_ = res.alive;
+  const auto self = std::find(group_.begin(), group_.end(), rank_);
+  crank_ = static_cast<int>(self - group_.begin());
+  fail_pending_ = false;
+  known_deaths_ = res.deaths;
+  epoch_bytes_put_ = 0;  // any half-open epoch died with the old world
+  // Realign the rendezvous generation: the agreement consumed exactly one
+  // global generation (RunState burned it), regardless of how far this
+  // rank's counter drifted while the failure unwound.
+  sync_seq_ = res.sync_gen + 1;
+
+  if (obs_) {
+    obs_->event(obs::EventKind::kSyncBegin, entry, "shrink", info.dead.size(),
+                static_cast<std::uint64_t>(group_.size()), res.sync_gen);
+    obs_->event(obs::EventKind::kSyncEnd, clock_.now(), "shrink",
+                info.dead.size(), static_cast<std::uint64_t>(group_.size()),
+                res.sync_gen);
+  }
+  if (auto* t = state_->telemetry(); t && crank_ == 0) {
+    t->metrics().add("simmpi.shrinks");
+    t->metrics().set("simmpi.world_size", static_cast<double>(group_.size()));
+  }
+  return info;
 }
 
 Window Comm::win_create(std::size_t local_bytes, std::source_location loc) {
+  raise_pending_failure();
   const int id = next_win_id_++;
   check_collective(CollFingerprint{.op = CollOp::kWinCreate, .root = id}, loc);
   if (check_) check_->on_win_create(rank_, id, local_bytes);
@@ -97,21 +168,22 @@ void Window::put(int target, std::size_t offset,
   if (target < 0 || target >= comm_->size()) {
     throw std::out_of_range("simmpi: put to invalid rank");
   }
+  const int wtarget = comm_->group_[static_cast<std::size_t>(target)];
   if (auto* ck = comm_->check_) {
-    ck->on_put(comm_->rank_, id_, target, offset, data.size(),
+    ck->on_put(comm_->rank_, id_, wtarget, offset, data.size(),
                CallSite::from(loc));
   }
   {
-    std::scoped_lock lk(ws.locks[static_cast<std::size_t>(target)]);
-    auto& buf = ws.buffers[static_cast<std::size_t>(target)];
+    std::scoped_lock lk(ws.locks[static_cast<std::size_t>(wtarget)]);
+    auto& buf = ws.buffers[static_cast<std::size_t>(wtarget)];
     if (offset + data.size() > buf.size()) {
       throw std::out_of_range("simmpi: put beyond window bounds");
     }
     std::memcpy(buf.data() + offset, data.data(), data.size());
   }
   const auto& cl = comm_->cluster();
-  const int src_node = cl.node_of(comm_->rank());
-  const int dst_node = cl.node_of(target);
+  const int src_node = cl.node_of(comm_->world_rank());
+  const int dst_node = cl.node_of(wtarget);
   {
     std::scoped_lock lk(ws.acct_mu);
     if (src_node == dst_node) {
@@ -120,7 +192,7 @@ void Window::put(int target, std::size_t offset,
       ws.node_inter_sent[static_cast<std::size_t>(src_node)] += modeled_bytes;
       ws.node_inter_recv[static_cast<std::size_t>(dst_node)] += modeled_bytes;
     }
-    ws.rank_recv[static_cast<std::size_t>(target)] += modeled_bytes;
+    ws.rank_recv[static_cast<std::size_t>(wtarget)] += modeled_bytes;
     ws.last_put_issue = std::max(ws.last_put_issue, comm_->clock().now());
   }
   comm_->epoch_bytes_put_ += modeled_bytes;
@@ -131,7 +203,7 @@ void Window::put(int target, std::size_t offset,
     (src_node == dst_node ? cs.intra_node_put_bytes
                           : cs.inter_node_put_bytes) += modeled_bytes;
     t->event(obs::EventKind::kPut, comm_->clock().now(), "put", modeled_bytes,
-             static_cast<std::uint64_t>(target));
+             static_cast<std::uint64_t>(wtarget));
   }
   comm_->charge(static_cast<double>(modeled_bytes) / cl.mem_bandwidth_bps);
 }
@@ -139,17 +211,18 @@ void Window::put(int target, std::size_t offset,
 std::span<std::uint8_t> Window::local() {
   if (!comm_) throw std::logic_error("simmpi: local() on invalid window");
   auto& ws = comm_->state_->window(id_);
-  return ws.buffers[static_cast<std::size_t>(comm_->rank())];
+  return ws.buffers[static_cast<std::size_t>(comm_->world_rank())];
 }
 
 std::span<const std::uint8_t> Window::local() const {
   if (!comm_) throw std::logic_error("simmpi: local() on invalid window");
   auto& ws = comm_->state_->window(id_);
-  return ws.buffers[static_cast<std::size_t>(comm_->rank())];
+  return ws.buffers[static_cast<std::size_t>(comm_->world_rank())];
 }
 
 void Window::fence(unsigned flags, std::source_location loc) {
   if (!comm_) throw std::logic_error("simmpi: fence on invalid window");
+  comm_->raise_pending_failure();
   comm_->check_collective(
       CollFingerprint{.op = CollOp::kWinFence, .root = id_, .flags = flags},
       loc);
@@ -161,38 +234,47 @@ void Window::fence(unsigned flags, std::source_location loc) {
     t->event(obs::EventKind::kSyncBegin, comm_->clock().now(), "fence",
              comm_->epoch_bytes_put_, static_cast<std::uint64_t>(id_), gen);
   }
-  const double release = comm_->state_->sync(
-      comm_->clock().now(), [&](double max_clock) {
-        // Bulk-synchronous epoch: each node's NIC moves its inter-node
-        // bytes at link rate, intra-node traffic moves at memory rate;
-        // the epoch lasts as long as the busiest resource.
-        std::scoped_lock lk(ws.acct_mu);
-        double epoch = 0.0;
-        for (std::size_t n = 0; n < ws.node_inter_sent.size(); ++n) {
-          const double out = static_cast<double>(ws.node_inter_sent[n]) /
-                             cl.net_bandwidth_bps;
-          const double in = static_cast<double>(ws.node_inter_recv[n]) /
-                            cl.net_bandwidth_bps;
-          const double mem =
-              static_cast<double>(ws.node_intra[n]) / cl.mem_bandwidth_bps;
-          epoch = std::max({epoch, out, in, mem});
-        }
-        const double start = std::max(max_clock, ws.last_put_issue);
-        std::fill(ws.node_inter_sent.begin(), ws.node_inter_sent.end(), 0);
-        std::fill(ws.node_inter_recv.begin(), ws.node_inter_recv.end(), 0);
-        std::fill(ws.node_intra.begin(), ws.node_intra.end(), 0);
-        // Publish this epoch's per-rank deliveries and reset the open-epoch
-        // tally.  All ranks are still blocked in sync() here, so nobody can
-        // issue a next-epoch put before the swap, and every rank reads its
-        // epoch slot before it can reach the next fence.
-        ws.rank_recv.swap(ws.rank_recv_epoch);
-        std::fill(ws.rank_recv.begin(), ws.rank_recv.end(), 0);
-        ws.last_put_issue = 0.0;
-        return start + epoch + cl.net_latency_s;
-      });
-  comm_->clock().at_least(release);
+  RunState::SyncResult sr;
+  try {
+    // The release closure captures only window/cluster state, never the
+    // calling rank's frame beyond `ws`/`cl` — it may run on whichever
+    // thread completes the rendezvous (including a dying rank's).
+    sr = comm_->state_->sync(
+        comm_->clock().now(), [&ws, &cl](double max_clock) {
+          // Bulk-synchronous epoch: each node's NIC moves its inter-node
+          // bytes at link rate, intra-node traffic moves at memory rate;
+          // the epoch lasts as long as the busiest resource.
+          std::scoped_lock lk(ws.acct_mu);
+          double epoch = 0.0;
+          for (std::size_t n = 0; n < ws.node_inter_sent.size(); ++n) {
+            const double out = static_cast<double>(ws.node_inter_sent[n]) /
+                               cl.net_bandwidth_bps;
+            const double in = static_cast<double>(ws.node_inter_recv[n]) /
+                              cl.net_bandwidth_bps;
+            const double mem =
+                static_cast<double>(ws.node_intra[n]) / cl.mem_bandwidth_bps;
+            epoch = std::max({epoch, out, in, mem});
+          }
+          const double start = std::max(max_clock, ws.last_put_issue);
+          std::fill(ws.node_inter_sent.begin(), ws.node_inter_sent.end(), 0);
+          std::fill(ws.node_inter_recv.begin(), ws.node_inter_recv.end(), 0);
+          std::fill(ws.node_intra.begin(), ws.node_intra.end(), 0);
+          // Publish this epoch's per-rank deliveries and reset the
+          // open-epoch tally.  All ranks are still blocked in sync() here,
+          // so nobody can issue a next-epoch put before the swap, and every
+          // rank reads its epoch slot before it can reach the next fence.
+          ws.rank_recv.swap(ws.rank_recv_epoch);
+          std::fill(ws.rank_recv.begin(), ws.rank_recv.end(), 0);
+          ws.last_put_issue = 0.0;
+          return start + epoch + cl.net_latency_s;
+        });
+  } catch (const RankDeadError&) {
+    comm_->fail_pending_ = true;
+    throw;
+  }
+  comm_->clock().at_least(sr.release);
   comm_->epoch_bytes_recv_ =
-      ws.rank_recv_epoch[static_cast<std::size_t>(comm_->rank())];
+      ws.rank_recv_epoch[static_cast<std::size_t>(comm_->world_rank())];
   if (auto* t = comm_->obs_) {
     ++t->comm.window_epochs;
     t->event(obs::EventKind::kSyncEnd, comm_->clock().now(), "fence",
@@ -203,18 +285,37 @@ void Window::fence(unsigned flags, std::source_location loc) {
   comm_->epoch_bytes_put_ = 0;
   if (auto* ck = comm_->check_) ck->on_fence(comm_->rank_, id_, flags);
   comm_->check_collective_done();
+  if (sr.deaths > comm_->known_deaths_) {
+    // Same uniform-throw contract as barrier(): the epoch completed (the
+    // dead rank's puts were issued before it died or not at all — either
+    // way identically on every survivor), but the world shrank.
+    comm_->fail_pending_ = true;
+    throw RankDeadError{};
+  }
 }
 
 void Window::release() {
   if (!comm_) return;
+  // MPI_Win_free is collective — but only when the world is healthy and
+  // this is a normal (non-unwinding) release.  A dying rank, a rank
+  // holding a pending failure, or a rank whose world was revoked must not
+  // re-enter a rendezvous from a destructor; a death detected *by* this
+  // barrier is re-armed via fail_pending_ and resurfaces at the next
+  // explicit collective, so it is never lost to the catch below.
   try {
-    if (!comm_->state_->aborted().load()) {
-      comm_->barrier();  // MPI_Win_free is collective
+    if (!comm_->state_->aborted().load() && !comm_->fail_pending_ &&
+        !comm_->state_->revoked() && std::uncaught_exceptions() == 0) {
+      comm_->barrier();
     }
-    if (auto* ck = comm_->check_) ck->on_win_free(comm_->rank_, id_);
-    comm_->state_->window_free(id_);
   } catch (...) {
     // Release runs from destructors during unwinding; never propagate.
+  }
+  try {
+    // Always record this rank's release so the runtime can reclaim the
+    // window once every rank has freed it or died.
+    if (auto* ck = comm_->check_) ck->on_win_free(comm_->rank_, id_);
+    comm_->state_->window_free(comm_->world_rank(), id_);
+  } catch (...) {
   }
   comm_ = nullptr;
   id_ = -1;

@@ -4,6 +4,14 @@
 // Sends are buffered (never block); receives block until a matching message
 // arrives.  Typed variants serialize through simmpi::OArchive/IArchive the
 // way Boost.MPI serializes user data structures in the paper's prototype.
+//
+// With failure containment (RuntimeOptions::contain_failures) a Comm is a
+// *view* over the surviving world: rank()/size() are dense over the current
+// group, peers named in send/recv/put are dense group ranks, and shrink()
+// — called by every survivor after catching RankDeadError — agrees on the
+// dead set and re-ranks the group densely (ULFM MPI_Comm_shrink analogue).
+// world_rank() stays the original numbering; stores, node topology, and
+// telemetry stay world-keyed across shrinks.
 #pragma once
 
 #include <cstdint>
@@ -27,13 +35,30 @@ class Comm {
       : state_(&state),
         rank_(rank),
         obs_(state.telemetry() ? &state.telemetry()->rank(rank) : nullptr),
-        check_(state.checker()) {}
+        check_(state.checker()),
+        crank_(rank) {
+    group_.resize(static_cast<std::size_t>(state.nranks()));
+    for (int r = 0; r < state.nranks(); ++r) {
+      group_[static_cast<std::size_t>(r)] = r;
+    }
+  }
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
 
-  [[nodiscard]] int rank() const noexcept { return rank_; }
-  [[nodiscard]] int size() const noexcept { return state_->nranks(); }
+  // Dense rank in the current (possibly shrunken) group.
+  [[nodiscard]] int rank() const noexcept { return crank_; }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(group_.size());
+  }
+  // Original world numbering; never changes across shrinks.  Equal to
+  // rank() until the first shrink.
+  [[nodiscard]] int world_rank() const noexcept { return rank_; }
+  [[nodiscard]] int world_size() const noexcept { return state_->nranks(); }
+  // World rank of the dense group rank `r`.
+  [[nodiscard]] int world_of(int r) const {
+    return group_.at(static_cast<std::size_t>(r));
+  }
   [[nodiscard]] const sim::ClusterConfig& cluster() const noexcept {
     return state_->cluster();
   }
@@ -93,6 +118,39 @@ class Comm {
   // -- synchronization ------------------------------------------------------
   void barrier(std::source_location loc = std::source_location::current());
 
+  // -- failure handling -----------------------------------------------------
+  // What one shrink agreed on; returned identically on every survivor.
+  struct ShrinkInfo {
+    std::uint64_t epoch = 0;        // 1-based shrink count of this run
+    double agreement_start_s = 0.0;  // max survivor clock entering agreement
+    // Surviving world ranks, ascending == the new dense group (index =
+    // new dense rank, value = world rank).
+    std::vector<int> alive_world;
+    // The group as it was before this shrink (index = previous dense rank,
+    // value = world rank) — the key map for data that was placed under the
+    // previous numbering (e.g. ChunkStore manifests).
+    std::vector<int> prev_group_world;
+    struct Dead {
+      int prev_rank = -1;   // dense rank in the previous group
+      int world_rank = -1;  // original world rank
+    };
+    std::vector<Dead> dead;  // ascending by prev_rank
+  };
+
+  // True once this rank has observed a peer death (a collective threw
+  // RankDeadError, or a receive failed); every collective entry re-throws
+  // until shrink() is called.
+  [[nodiscard]] bool failure_pending() const noexcept { return fail_pending_; }
+
+  // The ULFM-style recovery collective: every survivor must call it after
+  // catching RankDeadError.  Parks this rank, revokes the old world's
+  // pending communication (unblocking stragglers into RankDeadError of
+  // their own), agrees on the dead set, drains in-flight messages, and
+  // returns with the group densely re-ranked over the survivors.  Safe to
+  // call proactively (no death pending): it then degrades to an
+  // agreement-priced barrier with an empty dead list.
+  ShrinkInfo shrink();
+
   // -- one-sided windows ----------------------------------------------------
   // Collective: every rank exposes `local_bytes` of zero-initialized memory.
   // Opens the window's first access epoch (see Window::fence).
@@ -117,8 +175,15 @@ class Comm {
  private:
   friend class Window;
 
+  // Collective entry gate: a death observed once must not be lost to an
+  // exception swallowed in a destructor (Window::release), so it re-arms
+  // every collective until shrink() clears it.
+  void raise_pending_failure() const {
+    if (fail_pending_) throw RankDeadError{};
+  }
+
   RunState* state_;
-  int rank_;
+  int rank_;  // world rank (thread identity, mailbox/store/topology key)
   obs::RankTelemetry* obs_ = nullptr;
   CheckHook* check_ = nullptr;
   sim::SimClock clock_;
@@ -130,7 +195,17 @@ class Comm {
   // operations that enter RunState::sync, and both are collective, so this
   // counter advances identically on all ranks; collprof uses it to group
   // each rank's kSyncBegin/kSyncEnd pair into one cross-rank rendezvous.
+  // Survivors can diverge transiently while a failure unwinds (some threw
+  // at entry, some from inside sync); shrink() realigns every survivor to
+  // the generation after the agreement step.
   std::uint64_t sync_seq_ = 0;
+  // Current dense group: index = dense rank, value = world rank.
+  std::vector<int> group_;
+  int crank_;  // this rank's dense position in group_
+  bool fail_pending_ = false;
+  // Death count already absorbed by a shrink; a SyncResult reporting more
+  // means an unagreed death happened.
+  std::uint64_t known_deaths_ = 0;
 };
 
 // RAII handle to one collective window.  Movable, not copyable; must be

@@ -6,6 +6,15 @@
 // Every operation charges simulated time on the owning rank's SimClock
 // according to the sim::ClusterConfig cost model, so a run yields both real
 // results and deterministic simulated phase timings (see DESIGN.md §1).
+//
+// Failure containment (RuntimeOptions::contain_failures): by default an
+// injected rank kill (RankFailure) aborts the whole run.  With containment
+// on, the killed rank's thread unwinds cleanly, its death is published to
+// the shared membership table, and survivors learn about it at their next
+// collective entry via RankDeadError — the FT-MPI/ULFM-style error-on-
+// failure model.  The application then calls Comm::shrink() (all survivors
+// collectively) to agree on the dead set and continue in a dense re-ranked
+// smaller world (see DESIGN.md §12).
 #pragma once
 
 #include <atomic>
@@ -31,6 +40,7 @@ class Telemetry;
 namespace collrep::simmpi {
 
 class Comm;
+class RunState;
 
 // Thrown inside ranks blocked on communication when a sibling rank failed;
 // the originating exception is what Runtime::run() rethrows.
@@ -39,12 +49,44 @@ class AbortedError : public std::runtime_error {
   AbortedError() : std::runtime_error("simmpi: run aborted by peer failure") {}
 };
 
+// Base class of injected fail-stop rank failures (fault::RankKilledError
+// derives from it; defined here so the runtime can recognize a rank death
+// without depending on the fault layer).  With contain_failures off (the
+// default) the run aborts and Runtime::run() rethrows it; with containment
+// on it is absorbed and the rank simply ceases to exist.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+// Thrown on a *surviving* rank (contain_failures mode) when a peer died:
+// at the next collective entry once the death is agreed-visible, or from a
+// blocked receive whose sender can no longer deliver.  The application
+// handles it by having every survivor call Comm::shrink() and continuing
+// in the shrunken world; letting it escape the rank body is a primary
+// error (the run then aborts loudly rather than losing the signal).
+class RankDeadError : public std::runtime_error {
+ public:
+  RankDeadError()
+      : std::runtime_error(
+            "simmpi: a peer rank died; every survivor must call "
+            "Comm::shrink() to continue in the surviving world") {}
+};
+
 // Fault-injection attachment point (see src/fault for the concrete
 // schedule).  The runtime and the dump pipeline consult the hook at named
 // injection points — before/after collectives, at window fences, at store
 // commits — always on the consulting rank's own thread, so an
-// implementation may fail that rank's store in place or throw to kill the
-// rank itself (the run then aborts and Runtime::run() rethrows).
+// implementation may fail that rank's store in place or throw a
+// RankFailure to kill the rank itself (aborting the run, or — with
+// RuntimeOptions::contain_failures — leaving the survivors to shrink and
+// continue).
 class FaultHook {
  public:
   // Passed as `epoch` by sites that have no checkpoint-epoch context
@@ -75,9 +117,20 @@ struct RuntimeOptions {
   // default) disables every verification site at the cost of one untaken
   // branch.  Must outlive the runs it observes.
   CheckHook* checker = nullptr;
+  // Fail-stop containment: absorb RankFailure throws instead of aborting,
+  // so survivors can Comm::shrink() and continue (DESIGN.md §12).  Off by
+  // default — without an application prepared to handle RankDeadError,
+  // aborting is the honest behavior.
+  bool contain_failures = false;
 };
 
 namespace detail {
+
+// Membership states of one rank (RunState::member_status).
+inline constexpr std::uint8_t kMemberLive = 0;
+// Parked inside the shrink rendezvous, waiting for the other survivors.
+inline constexpr std::uint8_t kMemberParked = 1;
+inline constexpr std::uint8_t kMemberDead = 2;
 
 struct Message {
   std::vector<std::uint8_t> payload;
@@ -91,9 +144,16 @@ struct Message {
 class Mailbox {
  public:
   void push(int src, int tag, Message msg);
-  // Blocks until a message with (src, tag) is available or the run aborts.
-  Message pop(int src, int tag, const std::atomic<bool>& aborted);
-  void notify_abort();
+  // Blocks until a message with (src, tag) is available, the run aborts
+  // (AbortedError), or the sender provably cannot deliver — it is dead, or
+  // it is parked in a shrink rendezvous that revoked the old world
+  // (RankDeadError).  `src` is a world rank.
+  Message pop(int src, int tag, const RunState& state);
+  // Wakes blocked poppers so they re-evaluate abort/membership state.
+  void notify_state_change();
+  // Drops every queued message (shrink: the old world's in-flight traffic
+  // must not leak tag-matched into the new world).
+  void drain();
 
  private:
   using Key = std::uint64_t;
@@ -115,7 +175,8 @@ struct WindowState {
         node_inter_recv(nnodes, 0),
         node_intra(nnodes, 0),
         rank_recv(static_cast<std::size_t>(nranks), 0),
-        rank_recv_epoch(static_cast<std::size_t>(nranks), 0) {}
+        rank_recv_epoch(static_cast<std::size_t>(nranks), 0),
+        freed(static_cast<std::size_t>(nranks), 0) {}
 
   std::vector<std::vector<std::uint8_t>> buffers;  // one region per rank
   std::unique_ptr<std::mutex[]> locks;             // guards buffers[i]
@@ -132,7 +193,11 @@ struct WindowState {
   std::vector<std::uint64_t> rank_recv;
   std::vector<std::uint64_t> rank_recv_epoch;
   double last_put_issue = 0.0;
-  int free_count = 0;
+  // Per-rank release flags (world numbering): the window is reclaimed once
+  // every rank has either freed it or died.  A shared counter cannot tell
+  // "dead rank freed during unwind, then survivors freed" from a double
+  // free, so the flags are explicit.
+  std::vector<std::uint8_t> freed;
 };
 
 }  // namespace detail
@@ -162,33 +227,100 @@ class RunState {
 
   [[nodiscard]] CheckHook* checker() const noexcept { return opts_.checker; }
 
-  // Clock-aligning rendezvous: every rank contributes its clock; the last
-  // arriving rank maps the maximum through `on_release` (may be null for a
-  // plain barrier) and all ranks return that release time.
-  double sync(double my_time,
-              const std::function<double(double)>& on_release = nullptr);
+  [[nodiscard]] bool contain_failures() const noexcept {
+    return opts_.contain_failures;
+  }
+
+  // -- membership (failure containment) -------------------------------------
+  // detail::kMemberLive / kMemberParked / kMemberDead; `rank` is a world
+  // rank.  Lock-free read — exact at collective boundaries, advisory
+  // in between (a send racing a fresh death is delivered-then-drained).
+  [[nodiscard]] std::uint8_t member_status(int rank) const noexcept {
+    return member_[static_cast<std::size_t>(rank)].load();
+  }
+  // True while a shrink rendezvous is in progress: the old world's
+  // communication plan is revoked, so blocked ranks must unwind.
+  [[nodiscard]] bool revoked() const noexcept { return revoked_.load(); }
+  // Publishes `rank`'s fail-stop death (called on the dying rank's own
+  // thread, after its stack unwound).  Completes any rendezvous the death
+  // unblocks and wakes every blocked receiver.
+  void rank_died(int rank);
+  [[nodiscard]] int live_count() const;
+  [[nodiscard]] std::uint64_t death_count() const;
+
+  // Clock-aligning rendezvous: every live rank contributes its clock; the
+  // completing agent (last arriver, or a rank death that leaves every
+  // survivor arrived) maps the maximum through `on_release` (null for a
+  // plain barrier) and all ranks return that release time plus the death
+  // count observed at release — the failure-agreement input survivors use
+  // to detect deaths at collective boundaries.
+  struct SyncResult {
+    double release = 0.0;
+    std::uint64_t deaths = 0;
+  };
+  SyncResult sync(double my_time,
+                  const std::function<double(double)>& on_release = nullptr);
+
+  // The shrink rendezvous behind Comm::shrink(): parks the calling rank,
+  // revokes the old world (unblocking stragglers into RankDeadError), and
+  // — once every live rank is parked — drains all mailboxes, fixes the
+  // agreed dead set, realigns an attached checker, and releases everyone
+  // into the shrunken world at a common clock.
+  struct ShrinkResult {
+    double start = 0.0;    // max clock over parked survivors (latency base)
+    double release = 0.0;  // aligned clock after the agreement step
+    std::uint64_t deaths = 0;  // total deaths agreed so far
+    std::uint64_t epoch = 0;   // 1-based shrink count
+    std::uint64_t sync_gen = 0;  // rendezvous generation of the agreement
+    std::vector<int> alive;      // surviving world ranks, ascending
+  };
+  ShrinkResult shrink_rendezvous(int rank, double my_time);
 
   // Windows.  Creation is collective: every rank registers the same id
   // (ids come from a per-rank counter that advances identically on all
   // ranks because win_create is collective) along with its region size.
   void window_register(int rank, int id, std::size_t bytes);
   detail::WindowState& window(int id);
-  void window_free(int id);
+  void window_free(int rank, int id);
 
   [[nodiscard]] double barrier_cost() const noexcept;
 
  private:
+  // Both require sync_mu_ held.
+  void complete_sync_locked();
+  void maybe_complete_shrink_locked();
+  void wake_blocked_ranks();
+  void reclaim_dead_windows();
+  [[nodiscard]] double rendezvous_cost(int participants) const noexcept;
+
   int nranks_;
   RuntimeOptions opts_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::atomic<bool> aborted_{false};
 
-  std::mutex sync_mu_;
+  // Membership: lock-free status per rank; the counters that must move
+  // consistently with rendezvous state are guarded by sync_mu_.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> member_;
+  std::atomic<bool> revoked_{false};
+
+  mutable std::mutex sync_mu_;
   std::condition_variable sync_cv_;
+  int live_count_;        // guarded by sync_mu_
+  int parked_count_ = 0;  // guarded by sync_mu_
+  std::uint64_t death_count_ = 0;  // guarded by sync_mu_
   int sync_count_ = 0;
   std::uint64_t sync_gen_ = 0;
   double sync_max_ = 0.0;
   double sync_release_ = 0.0;
+  std::uint64_t sync_deaths_ = 0;
+  // First non-null on_release of the in-progress rendezvous; stays valid
+  // because its owner blocks inside sync() until the release.
+  const std::function<double(double)>* sync_on_release_ = nullptr;
+  // Shrink rendezvous state (guarded by sync_mu_).
+  std::uint64_t shrink_gen_ = 0;
+  std::uint64_t shrink_epoch_ = 0;
+  double shrink_max_ = 0.0;
+  ShrinkResult shrink_result_;
 
   std::mutex win_mu_;
   std::vector<std::unique_ptr<detail::WindowState>> windows_;
@@ -196,7 +328,9 @@ class RunState {
 
 // Runs `body` as an SPMD program over `nranks` ranks (threads).  If any
 // rank throws, the run aborts and the first non-abort exception is
-// rethrown from run().
+// rethrown from run().  With RuntimeOptions::contain_failures, RankFailure
+// throws instead end only the failing rank; the run succeeds if the
+// survivors shrink and run to completion.
 class Runtime {
  public:
   explicit Runtime(int nranks, RuntimeOptions opts = {});

@@ -140,6 +140,7 @@ TEST(Collcheck, LayerTablePinsTheDag) {
   EXPECT_EQ(collcheck::layer_rank("core"), 4);
   EXPECT_EQ(collcheck::layer_rank("fault"), 5);
   EXPECT_EQ(collcheck::layer_rank("check"), 5);
+  EXPECT_EQ(collcheck::layer_rank("recover"), 5);
   EXPECT_EQ(collcheck::layer_rank("ftrt"), 6);
   EXPECT_EQ(collcheck::layer_rank("apps"), 7);
   EXPECT_GE(collcheck::layer_rank("tests"), 100);

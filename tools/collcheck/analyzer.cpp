@@ -28,7 +28,7 @@ const std::unordered_map<std::string, int>& layer_table() {
       {"simmpi", 2},
       {"chunk", 3},
       {"core", 4},
-      {"fault", 5},   {"check", 5},
+      {"fault", 5},   {"check", 5},   {"recover", 5},
       {"ftrt", 6},
       {"apps", 7},
       {"tools", 100}, {"tests", 100}, {"bench", 100}, {"examples", 100},
