@@ -3,14 +3,25 @@
 # the tree.  Exits non-zero on any finding not covered by the checked-in
 # baseline (tools/collcheck/baseline.txt) or an inline
 # `// collcheck:allow(RULE)` comment.  Rule catalog: `collcheck --list-rules`
-# or DESIGN.md §10.
+# or DESIGN.md §10/§13.
 #
-#   scripts/analyze.sh                 # analyze src/ tools/ bench/ tests/ examples/
-#   COLLCHECK_SARIF=out.sarif scripts/analyze.sh   # also write SARIF
+#   scripts/analyze.sh              # analyze src/ tools/ bench/ tests/ examples/
+#   scripts/analyze.sh --fail-on-new   # also fail on STALE baseline entries,
+#                                      # printing a +/- diff against baseline
+#   COLLCHECK_SARIF=out.sarif scripts/analyze.sh        # also write SARIF
+#   COLLCHECK_SELF_SARIF=self.sarif scripts/analyze.sh  # SARIF for self-scan
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
+
+extra=()
+for arg in "$@"; do
+  case "$arg" in
+    --fail-on-new) extra+=(--fail-on-new) ;;
+    *) echo "analyze.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
 
 build_dir="${COLLCHECK_BUILD_DIR:-build-analyze}"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -22,7 +33,16 @@ if [[ -n "${COLLCHECK_SARIF:-}" ]]; then
 fi
 
 echo "== analyze: collcheck =="
-"$build_dir/tools/collcheck/collcheck" "${args[@]}" \
+"$build_dir/tools/collcheck/collcheck" "${args[@]}" "${extra[@]}" \
     src tools bench tests examples
+
+# Self-analysis: the analyzer must hold itself to the rules it enforces
+# (no baseline here — the tool's own tree stays clean, full stop).
+self_args=(--repo-root "$repo")
+if [[ -n "${COLLCHECK_SELF_SARIF:-}" ]]; then
+  self_args+=(--sarif "$COLLCHECK_SELF_SARIF")
+fi
+echo "== analyze: collcheck (self) =="
+"$build_dir/tools/collcheck/collcheck" "${self_args[@]}" tools/collcheck
 
 echo "analyze: OK"

@@ -118,6 +118,8 @@ void Checker::report(Violation v, bool may_throw) {
 
 void Checker::run_begin(int nranks, std::function<void()> abort_run) {
   stop_watchdog();  // defensive: a previous run must already have ended
+  // nranks_ is written once here, before any rank thread exists, and is
+  // immutable for the rest of the run.  collcheck:allow(CC-RACE-UNGUARDED)
   nranks_ = nranks;
   live_.store(nranks);
   dead_ = std::make_unique<std::atomic<std::uint8_t>[]>(
@@ -450,6 +452,8 @@ void Checker::on_shrink(const std::vector<int>& alive_world) {
 std::string Checker::stuck_report() {
   std::scoped_lock lk(coll_mu_);
   std::string out;
+  // nranks_ is set once in run_begin before the rank threads start; any
+  // lock (here coll_mu_) suffices.  collcheck:allow(CC-RACE-UNGUARDED)
   for (int r = 0; r < nranks_; ++r) {
     if (!out.empty()) out += "; ";
     const auto& prog = progress_[static_cast<std::size_t>(r)];

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 #include <tuple>
@@ -97,6 +99,49 @@ TEST(Collcheck, DeterminismFamily) {
   EXPECT_EQ(keys(result), expected);
   // clean_harness.cpp proves the scoping: wall clocks and random_device in
   // a harness layer are fine — absent from the exact set above.
+}
+
+TEST(Collcheck, LocksetRaceFamily) {
+  const auto result = scan_fixture("race");
+  const std::set<Key> expected = {
+      // The pre-fix FaultSchedule::at_point scan order (the PR-7 race):
+      // `ev.fired` read before the rank-ownership filter.
+      {"CC-RACE-OWNER", std::string(kFx) + "race/bad_atpoint.cpp", 21},
+      {"CC-RACE-UNGUARDED", std::string(kFx) + "race/bad_unguarded.cpp", 17},
+      {"CC-RACE-UNGUARDED", std::string(kFx) + "race/bad_unguarded.cpp", 18},
+      {"CC-RACE-LOCKORDER", std::string(kFx) + "race/bad_unguarded.cpp", 23},
+      {"CC-RACE-LOCKORDER", std::string(kFx) + "race/bad_unguarded.cpp", 29},
+  };
+  EXPECT_EQ(keys(result), expected);
+  // clean.cpp (locked accesses, atomic counter, consistent lock order,
+  // filter-first scan) must contribute nothing — exact-set match above.
+}
+
+TEST(Collcheck, FailureUnwindFamily) {
+  const auto result = scan_fixture("exc");
+  const std::set<Key> expected = {
+      {"CC-EXC-NOEXCEPT", std::string(kFx) + "exc/bad_noexcept.cpp", 9},
+      {"CC-EXC-NOEXCEPT", std::string(kFx) + "exc/bad_noexcept.cpp", 17},
+      {"CC-EXC-RESOURCE", std::string(kFx) + "exc/bad_resource.cpp", 13},
+      {"CC-EXC-SWALLOW", std::string(kFx) + "exc/bad_resource.cpp", 22},
+  };
+  EXPECT_EQ(keys(result), expected);
+  // clean.cpp (RAII lock across barrier, recover-then-rethrow handler,
+  // throw-free noexcept accessor) must contribute nothing.
+}
+
+TEST(Collcheck, P2pProtocolFamily) {
+  const auto result = scan_fixture("p2p");
+  const std::set<Key> expected = {
+      {"CC-P2P-UNMATCHED", std::string(kFx) + "p2p/bad_unmatched.cpp", 13},
+      {"CC-P2P-UNMATCHED", std::string(kFx) + "p2p/bad_unmatched.cpp", 19},
+      {"CC-P2P-SELF", std::string(kFx) + "p2p/bad_selftag.cpp", 14},
+      {"CC-P2P-TAGDIV", std::string(kFx) + "p2p/bad_selftag.cpp", 24},
+      {"CC-P2P-TAGDIV", std::string(kFx) + "p2p/bad_selftag.cpp", 25},
+  };
+  EXPECT_EQ(keys(result), expected);
+  // clean.cpp (ring shift over matched constant/offset tags) must
+  // contribute nothing; kPairTag in bad_unmatched.cpp is matched too.
 }
 
 TEST(Collcheck, ProductionScanSkipsFixtures) {
@@ -189,6 +234,43 @@ TEST(Collcheck, BaselineParsingAndStaleDetection) {
   const auto stale = bl.unused();
   ASSERT_EQ(stale.size(), 1u);
   EXPECT_EQ(stale[0]->file, "src/core/z.cpp");
+}
+
+TEST(Collcheck, BaselineRoundTrip) {
+  // write-baseline -> reload -> every original finding suppressed, and a
+  // finding that goes away shows up as a stale entry.
+  const std::vector<Finding> findings = {
+      {"CC-RACE-UNGUARDED", "src/core/a.cpp", 10, "unguarded write"},
+      {"CC-EXC-SWALLOW", "src/core/b.cpp", 20, "swallowed # with hash"},
+      {"CC-P2P-UNMATCHED", "src/core/c.cpp", 30, "orphan send"},
+  };
+  const std::string path =
+      testing::TempDir() + "/collcheck_roundtrip_baseline.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    out << collcheck::format_baseline(findings);
+  }
+  std::vector<std::string> errors;
+  const auto baseline = collcheck::load_baseline(path, errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(baseline.entries.size(), findings.size());
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(baseline.suppresses(f))
+        << f.rule << " " << f.file << ":" << f.line;
+  }
+  EXPECT_TRUE(baseline.unused().empty());
+
+  // Second run where the b.cpp finding was fixed: its entry goes stale.
+  std::vector<std::string> errors2;
+  const auto baseline2 = collcheck::load_baseline(path, errors2);
+  EXPECT_TRUE(baseline2.suppresses(findings[0]));
+  EXPECT_TRUE(baseline2.suppresses(findings[2]));
+  const auto stale = baseline2.unused();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0]->file, "src/core/b.cpp");
+  EXPECT_EQ(stale[0]->rule, "CC-EXC-SWALLOW");
+  std::remove(path.c_str());
 }
 
 TEST(Collcheck, SarifOutputIsWellFormed) {

@@ -9,6 +9,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "dataflow.hpp"
+#include "tokutil.hpp"
+
 namespace collcheck {
 
 namespace {
@@ -76,30 +79,8 @@ const std::unordered_set<std::string>& banned_call_names() {
 }
 
 // ---------------------------------------------------------------------------
-// Function extraction
+// Function extraction (token helpers shared via tokutil.hpp)
 // ---------------------------------------------------------------------------
-
-using Toks = std::vector<Token>;
-
-[[nodiscard]] bool is_punct(const Token& t, std::string_view s) {
-  return t.kind == TokKind::kPunct && t.text == s;
-}
-[[nodiscard]] bool is_ident(const Token& t, std::string_view s) {
-  return t.kind == TokKind::kIdent && t.text == s;
-}
-
-// Index of the token matching the opener at `open` ("(", "{", "["), or
-// toks.size() when unbalanced.
-[[nodiscard]] std::size_t match_bracket(const Toks& toks, std::size_t open) {
-  const std::string& o = toks[open].text;
-  const std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(toks[i], o)) ++depth;
-    else if (is_punct(toks[i], c) && --depth == 0) return i;
-  }
-  return toks.size();
-}
 
 // After the closing ")" of a parameter list, skip declaration qualifiers
 // and decide whether a function body follows.  Returns the index of the
@@ -188,10 +169,24 @@ void extract_calls(const Toks& toks, FunctionInfo& fn) {
   for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdent || is_cpp_keyword(t.text)) continue;
-    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+    if (i + 1 >= toks.size()) continue;
+    // `name(` directly, or `name<...>(` for explicit template arguments
+    // (recv_value<int>(...)).
+    std::size_t open = kNpos;
+    if (is_punct(toks[i + 1], "(")) {
+      open = i + 1;
+    } else if (is_punct(toks[i + 1], "<")) {
+      const std::size_t past = skip_template_args(toks, i + 1);
+      if (past != kNpos && past < toks.size() && is_punct(toks[past], "(")) {
+        open = past;
+      }
+    }
+    if (open == kNpos) continue;
     CallSite call;
     call.name = t.text;
     call.line = t.line;
+    call.tok = i;
+    call.args_open = open;
     if (i > 0) {
       const Token& prev = toks[i - 1];
       if (is_punct(prev, ".") || is_punct(prev, "->")) {
@@ -233,8 +228,33 @@ void extract_functions(FileUnit& unit) {
     FunctionInfo fn;
     fn.name = t.text;
     fn.line = t.line;
+    fn.name_tok = i;
     fn.body_begin = body + 1;
     fn.body_end = std::min(body_end, toks.size());
+    // Destructors and out-of-line `X::f` qualification.
+    std::size_t q = i;
+    if (i >= 1 && is_punct(toks[i - 1], "~")) {
+      fn.is_dtor = true;
+      fn.class_name = t.text;
+      q = i - 1;
+    }
+    if (q >= 2 && is_punct(toks[q - 1], "::") &&
+        toks[q - 2].kind == TokKind::kIdent) {
+      fn.class_name = toks[q - 2].text;
+    }
+    // Explicit noexcept between the parameter list and the body
+    // (noexcept(false) opts back out).
+    for (std::size_t k = close + 1; k < body; ++k) {
+      if (!is_ident(toks[k], "noexcept")) continue;
+      fn.is_noexcept = true;
+      if (k + 1 < body && is_punct(toks[k + 1], "(")) {
+        const std::size_t nc = match_bracket(toks, k + 1);
+        for (std::size_t a = k + 2; a < nc; ++a) {
+          if (is_ident(toks[a], "false")) fn.is_noexcept = false;
+        }
+      }
+      break;
+    }
     extract_calls(toks, fn);
     const std::size_t resume = fn.body_end + 1;
     unit.functions.push_back(std::move(fn));
@@ -266,19 +286,6 @@ struct TaintCtx {
     if (ctx.tainted_vars.contains(t.text)) return true;
   }
   return false;
-}
-
-// Statement end: next ";" at bracket depth 0 from `i`.
-[[nodiscard]] std::size_t stmt_end(const Toks& toks, std::size_t i,
-                                   std::size_t limit) {
-  int depth = 0;
-  for (; i < limit; ++i) {
-    const Token& t = toks[i];
-    if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
-    else if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) --depth;
-    else if (is_punct(t, ";") && depth == 0) return i;
-  }
-  return limit;
 }
 
 // Collect variables assigned from rank-derived expressions.  Two passes
@@ -460,17 +467,31 @@ void analyze_function(const FileUnit& unit, FunctionInfo& fn,
   collect_tainted_vars(ctx, fn.body_begin, fn.body_end);
   (void)walk_region(ctx, fn.body_begin, fn.body_end, false, false);
 
-  // Attach taint to call sites by re-scanning (call order == token order).
-  std::size_t ci = 0;
-  for (std::size_t i = fn.body_begin; i < fn.body_end && ci < fn.calls.size();
-       ++i) {
+  for (CallSite& c : fn.calls) {
+    c.rank_conditional = c.tok < ctx.tainted_at.size() &&
+                         ctx.tainted_at[c.tok] != 0;
+  }
+
+  // Variables whose value depends on which rank executes (assigned under
+  // rank-conditional control flow) feed CC-P2P-TAGDIV; `me = comm.rank()`
+  // aliases feed CC-P2P-SELF.
+  for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdent || is_cpp_keyword(t.text)) continue;
-    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
-    if (fn.calls[ci].name == t.text && fn.calls[ci].line == t.line) {
-      fn.calls[ci].rank_conditional = ctx.tainted_at[i] != 0;
-      // ---- window-variable tracking rides the same scan ----
-      ++ci;
+    if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      continue;
+    }
+    if (is_punct(toks[i + 1], "=")) {
+      if (ctx.tainted_at[i] != 0) fn.divergent_vars.push_back(t.text);
+      // `alias = R.rank();` / `R.world_rank();`
+      if (i + 7 < fn.body_end && toks[i + 2].kind == TokKind::kIdent &&
+          is_punct(toks[i + 3], ".") &&
+          (is_ident(toks[i + 4], "rank") ||
+           is_ident(toks[i + 4], "world_rank")) &&
+          is_punct(toks[i + 5], "(") && is_punct(toks[i + 6], ")") &&
+          is_punct(toks[i + 7], ";")) {
+        fn.rank_aliases.emplace_back(t.text, toks[i + 2].text);
+      }
     }
   }
 
@@ -830,6 +851,45 @@ const std::vector<RuleInfo>& rule_catalog() {
        "seed a <random> engine from config or rank"},
       {kRuleBannedFunc, "banned C string/stateful function",
        "use std::string, std::span, or snprintf"},
+      {kRuleRaceUnguarded,
+       "field guarded by a mutex at other sites is accessed without it",
+       "take the class's majority lock here, make the field atomic, or "
+       "document single-threaded ownership with an allow comment"},
+      {kRuleRaceOwner,
+       "mutable state read before the rank-ownership filter in a shared "
+       "scan loop",
+       "put the rank filter first so other ranks' entries are never "
+       "touched (the FaultSchedule::at_point pattern)"},
+      {kRuleRaceLockOrder,
+       "two mutexes are acquired in opposite orders at different sites",
+       "pick one global order (or use std::scoped_lock with both) to rule "
+       "out deadlock"},
+      {kRuleExcNoexcept,
+       "noexcept function (or destructor) can reach a RankDeadError throw "
+       "site",
+       "drop noexcept, wrap the body in try/catch, or route through a "
+       "swallowing release() helper"},
+      {kRuleExcResource,
+       "manually-acquired resource held across a call that can throw "
+       "RankDeadError",
+       "use an RAII guard (scoped_lock/unique_lock) or release before the "
+       "throwing call"},
+      {kRuleExcSwallow,
+       "catch block swallows RankDeadError without rethrow or recovery",
+       "rethrow, call shrink()/recover_world(), or record the death before "
+       "continuing"},
+      {kRuleP2pUnmatched,
+       "send/recv tag with no static counterpart anywhere in the scanned "
+       "sources",
+       "add the matching side, or allow-list intentional orphans (leak "
+       "tests)"},
+      {kRuleP2pSelf, "recv from the caller's own rank",
+       "a rank cannot serve its own recv; route self-data through a local "
+       "variable instead"},
+      {kRuleP2pTagDiv,
+       "p2p tag expression diverges across ranks",
+       "compute tags from protocol constants and the peer id, never from "
+       "rank-conditional state"},
   };
   return kCatalog;
 }
@@ -884,6 +944,10 @@ AnalysisResult analyze_sources(
     }
   }
   propagate_bearing(result.files, result.findings);
+  const SharedModel model = build_shared_model(result.files);
+  run_race_rules(model, result.findings);
+  run_exc_rules(model, result.findings);
+  run_p2p_rules(model, result.findings);
   apply_inline_allows(result.files, result.findings);
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -36,4 +36,9 @@ struct Baseline {
 [[nodiscard]] Baseline load_baseline(const std::string& path,
                                      std::vector<std::string>& errors);
 
+// Render findings as baseline lines (`RULE path:line  # message`).  The
+// output round-trips through load_baseline and suppresses exactly the
+// findings it was built from (`--write-baseline`).
+[[nodiscard]] std::string format_baseline(const std::vector<Finding>& fs);
+
 }  // namespace collcheck

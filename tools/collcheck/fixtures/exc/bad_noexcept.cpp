@@ -1,0 +1,21 @@
+// Fixture: noexcept functions that can reach a RankDeadError throw site.
+// drain() calls recv_value directly; finish() reaches barrier() through
+// settle().  Either path turns an injected rank death into
+// std::terminate instead of recovery.
+namespace fx {
+
+struct Comm;
+
+void drain(Comm& comm, int tag) noexcept {  // CC-EXC-NOEXCEPT
+  (void)comm.recv_value<int>(0, tag);
+}
+
+void settle(Comm& comm) {
+  comm.barrier();
+}
+
+void finish(Comm& comm) noexcept {  // CC-EXC-NOEXCEPT
+  settle(comm);
+}
+
+}  // namespace fx

@@ -1,0 +1,32 @@
+// Fixture: failure-unwind hazards.  deposit_all() holds mu_ via a manual
+// .lock() across barrier() — a rank death there unwinds past the unlock
+// and the mutex leaks.  absorb() catches RankDeadError and just counts
+// it: the death signal never reaches recovery.
+#include <mutex>
+
+namespace fx {
+
+struct Comm;
+
+struct Ledger {
+  void deposit_all(Comm& comm, int amount) {
+    mu_.lock();  // CC-EXC-RESOURCE
+    balance_ += amount;
+    comm.barrier();
+    mu_.unlock();
+  }
+
+  void absorb(Comm& comm) {
+    try {
+      comm.barrier();
+    } catch (const RankDeadError& e) {  // CC-EXC-SWALLOW
+      ++drops_;
+    }
+  }
+
+  std::mutex mu_;
+  long balance_ = 0;
+  long drops_ = 0;
+};
+
+}  // namespace fx

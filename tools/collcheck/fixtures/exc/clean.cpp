@@ -1,0 +1,38 @@
+// Clean negative for the CC-EXC family: the lock held across barrier()
+// is RAII (unwind releases it), the RankDeadError handler engages
+// recovery and rethrows, and the noexcept accessor cannot reach a throw
+// site.
+#include <mutex>
+
+namespace fx {
+
+struct Comm;
+
+struct SafeLedger {
+  void deposit_all(Comm& comm, int amount) {
+    std::scoped_lock lk(mu_);
+    balance_ += amount;
+    comm.barrier();  // RAII guard: safe across the throw site
+  }
+
+  void absorb(Comm& comm) {
+    try {
+      comm.barrier();
+    } catch (const RankDeadError& e) {
+      recover();
+      throw;  // observed, recovery engaged, and propagated
+    }
+  }
+
+  long peek() noexcept {
+    std::scoped_lock lk(mu_);
+    return balance_;
+  }
+
+  void recover();
+
+  std::mutex mu_;
+  long balance_ = 0;
+};
+
+}  // namespace fx

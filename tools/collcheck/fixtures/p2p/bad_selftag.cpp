@@ -1,0 +1,28 @@
+// Fixture: self-recv and rank-divergent tags.  The recv names the
+// caller's own rank as the peer; staged() computes its tag inside a
+// rank-conditional branch, so sender and receiver disagree on it.
+namespace fx {
+
+struct Comm;
+
+inline constexpr int kSelfTag = 50;
+inline constexpr int kLowTag = 51;
+inline constexpr int kHighTag = 52;
+
+void echo_self(Comm& comm) {
+  comm.send_value(comm.rank(), kSelfTag, 1);
+  (void)comm.recv_value<int>(comm.rank(), kSelfTag);  // CC-P2P-SELF
+}
+
+void staged(Comm& comm) {
+  int tag = 0;
+  if (comm.rank() == 0) {
+    tag = kLowTag;
+  } else {
+    tag = kHighTag;
+  }
+  comm.send_value(1, tag, 5);          // CC-P2P-TAGDIV
+  (void)comm.recv_value<int>(0, tag);  // CC-P2P-TAGDIV
+}
+
+}  // namespace fx

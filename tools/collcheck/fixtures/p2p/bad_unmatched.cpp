@@ -1,0 +1,22 @@
+// Fixture: protocol holes.  kOrphanTag is sent but never received
+// (message leak); kGhostAck is received but never sent (permanent
+// block).  kPairTag is matched and must stay silent.
+namespace fx {
+
+struct Comm;
+
+inline constexpr int kOrphanTag = 41;
+inline constexpr int kGhostAck = 42;
+inline constexpr int kPairTag = 43;
+
+void produce(Comm& comm) {
+  comm.send_value(1, kOrphanTag, 7);  // CC-P2P-UNMATCHED
+  comm.send_value(1, kPairTag, 8);
+}
+
+void consume(Comm& comm) {
+  (void)comm.recv_value<int>(0, kPairTag);
+  (void)comm.recv_value<int>(0, kGhostAck);  // CC-P2P-UNMATCHED
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Clean negative for the CC-P2P family: a ring shift whose tags are
+// protocol constants (kRingTag) or constant-plus-peer offsets
+// (kStreamBase + rank): both sides compute them identically, the peers
+// are neighbours, and every tag key has both a send and a recv.
+namespace fx {
+
+struct Comm;
+
+inline constexpr int kRingTag = 11;
+inline constexpr int kStreamBase = 20;
+
+void ring_shift(Comm& comm) {
+  const int me = comm.rank();
+  const int next = (me + 1) % comm.world_size();
+  const int prev = (me + comm.world_size() - 1) % comm.world_size();
+  comm.send_value(next, kRingTag, me);
+  (void)comm.recv_value<int>(prev, kRingTag);
+  comm.send_value(next, kStreamBase + next, me);
+  (void)comm.recv_value<int>(prev, kStreamBase + me);
+}
+
+}  // namespace fx

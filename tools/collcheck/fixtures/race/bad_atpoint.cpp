@@ -1,0 +1,38 @@
+// Fixture: the pre-fix FaultSchedule::at_point scan order (the PR-7 race).
+// `ev.fired` is mutable state written by other ranks' threads under
+// fired_mu_; reading it BEFORE the rank-ownership filter races with those
+// writers.  The fix was to put the rank filter first.
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+struct Slot {
+  struct Ev {
+    int rank = 0;
+    long seq = 0;
+  } event;
+  bool fired = false;
+};
+
+struct Schedule {
+  bool at_point(int rank, long seq) {
+    for (auto& ev : events_) {
+      if (ev.fired || ev.event.rank != rank) continue;  // CC-RACE-OWNER
+      if (ev.event.seq == seq) return true;
+    }
+    return false;
+  }
+
+  void fire(int rank) {
+    std::scoped_lock lk(fired_mu_);
+    for (auto& ev : events_) {
+      if (ev.event.rank == rank) ev.fired = true;
+    }
+  }
+
+  std::mutex fired_mu_;
+  std::vector<Slot> events_;
+};
+
+}  // namespace fx

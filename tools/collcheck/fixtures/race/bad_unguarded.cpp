@@ -1,0 +1,41 @@
+// Fixture: lockset violations.  MetricsHub guards samples_/total_ with
+// mu_ in add(), but record_fast() touches both with no lock; lock_ab()
+// and lock_ba() acquire a_mu_/b_mu_ in opposite orders (deadlock).
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+struct MetricsHub {
+  void add(int v) {
+    std::scoped_lock lk(mu_);
+    samples_.push_back(v);
+    ++total_;
+  }
+
+  void record_fast(int v) {
+    samples_.push_back(v);  // CC-RACE-UNGUARDED
+    ++total_;               // CC-RACE-UNGUARDED
+  }
+
+  void lock_ab() {
+    std::scoped_lock la(a_mu_);
+    std::scoped_lock lb(b_mu_);  // CC-RACE-LOCKORDER
+    ++linked_;
+  }
+
+  void lock_ba() {
+    std::scoped_lock lb(b_mu_);
+    std::scoped_lock la(a_mu_);  // CC-RACE-LOCKORDER
+    --linked_;
+  }
+
+  std::mutex mu_;
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  std::vector<int> samples_;
+  long total_ = 0;
+  long linked_ = 0;
+};
+
+}  // namespace fx

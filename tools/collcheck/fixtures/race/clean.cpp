@@ -1,0 +1,58 @@
+// Clean negative for the CC-RACE family: every samples_ access holds
+// mu_, the counter is atomic, both multi-lock paths agree on the a->b
+// order, and the shared-table scan filters on rank ownership FIRST.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+struct Entry {
+  int rank = 0;
+  bool ready = false;
+};
+
+struct CleanHub {
+  void add(int v) {
+    std::scoped_lock lk(mu_);
+    samples_.push_back(v);
+    total_.fetch_add(1);
+  }
+
+  long drain() {
+    std::scoped_lock lk(mu_);
+    const long n = static_cast<long>(samples_.size());
+    samples_.clear();
+    return n;
+  }
+
+  void link() {
+    std::scoped_lock la(a_mu_);
+    std::scoped_lock lb(b_mu_);
+    ++linked_;
+  }
+
+  void unlink() {
+    std::scoped_lock la(a_mu_);
+    std::scoped_lock lb(b_mu_);
+    --linked_;
+  }
+
+  bool poll(int rank) {
+    for (auto& e : entries_) {
+      if (e.rank != rank || e.ready) continue;  // filter first: safe
+      return true;
+    }
+    return false;
+  }
+
+  std::mutex mu_;
+  std::mutex a_mu_;
+  std::mutex b_mu_;
+  std::vector<int> samples_;
+  std::atomic<long> total_{0};
+  long linked_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fx

@@ -5,12 +5,16 @@
 //   --repo-root DIR      root for relative paths and path normalization
 //                        (default: current directory)
 //   --baseline FILE      intentional-exception list (default: none)
+//   --fail-on-new        print a +/- diff against the baseline and fail on
+//                        ANY drift: new findings (+) or stale entries (-)
+//   --write-baseline F   write every current finding to F as a baseline
 //   --sarif FILE         also write findings as SARIF 2.1.0
 //   --include-fixtures   scan directories named "fixtures" too
 //   --list-rules         print the rule catalog and exit
 //
-// Exit codes: 0 clean (all findings baselined), 1 unbaselined findings,
-// 2 usage or I/O error.
+// Exit codes: 0 clean (all findings baselined), 1 unbaselined findings
+// (or, with --fail-on-new, stale baseline entries too), 2 usage or I/O
+// error.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,11 +27,12 @@
 
 namespace {
 
-constexpr const char* kVersion = "0.5.0";
+constexpr const char* kVersion = "0.6.0";
 
 int usage(std::ostream& os, int code) {
   os << "usage: collcheck [--repo-root DIR] [--baseline FILE] "
-        "[--sarif FILE]\n"
+        "[--fail-on-new]\n"
+        "                 [--write-baseline FILE] [--sarif FILE]\n"
         "                 [--include-fixtures] [--list-rules] PATH...\n";
   return code;
 }
@@ -37,7 +42,9 @@ int usage(std::ostream& os, int code) {
 int main(int argc, char** argv) {
   std::string repo_root = ".";
   std::string baseline_path;
+  std::string write_baseline_path;
   std::string sarif_path;
+  bool fail_on_new = false;
   collcheck::AnalyzerOptions options;
   std::vector<std::string> paths;
 
@@ -58,6 +65,12 @@ int main(int argc, char** argv) {
       const char* v = need_value("--baseline");
       if (v == nullptr) return usage(std::cerr, 2);
       baseline_path = v;
+    } else if (arg == "--fail-on-new") {
+      fail_on_new = true;
+    } else if (arg == "--write-baseline") {
+      const char* v = need_value("--write-baseline");
+      if (v == nullptr) return usage(std::cerr, 2);
+      write_baseline_path = v;
     } else if (arg == "--sarif") {
       const char* v = need_value("--sarif");
       if (v == nullptr) return usage(std::cerr, 2);
@@ -107,9 +120,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const collcheck::Finding& f : active) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+  if (fail_on_new) {
+    // Diff view: every unbaselined finding is "+", every stale baseline
+    // entry is "-".  Any drift fails, so the baseline can never rot.
+    for (const collcheck::Finding& f : active) {
+      std::cout << "+ " << f.rule << " " << f.file << ":" << f.line << "  "
+                << f.message << "\n";
+    }
+    for (const collcheck::BaselineEntry* e : baseline.unused()) {
+      std::cout << "- " << e->rule << " " << e->file << ":"
+                << (e->line == 0 ? std::string("*") : std::to_string(e->line))
+                << "\n";
+    }
+  } else {
+    for (const collcheck::Finding& f : active) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "collcheck: cannot write baseline to '"
+                << write_baseline_path << "'\n";
+      return 2;
+    }
+    out << collcheck::format_baseline(result.findings);
   }
 
   if (!sarif_path.empty()) {
@@ -122,7 +159,8 @@ int main(int argc, char** argv) {
     out << collcheck::to_sarif(active, kVersion);
   }
 
-  for (const collcheck::BaselineEntry* e : baseline.unused()) {
+  const auto stale = baseline.unused();
+  for (const collcheck::BaselineEntry* e : stale) {
     std::cerr << "collcheck: warning: stale baseline entry " << e->rule
               << " " << e->file << ":"
               << (e->line == 0 ? std::string("*") : std::to_string(e->line))
@@ -135,5 +173,7 @@ int main(int argc, char** argv) {
                     ? " (" + std::to_string(suppressed) + " baselined)"
                     : "")
             << "\n";
-  return active.empty() ? 0 : 1;
+  if (!active.empty()) return 1;
+  if (fail_on_new && !stale.empty()) return 1;
+  return 0;
 }

@@ -25,6 +25,17 @@ inline constexpr std::string_view kRuleLayerUnknown = "CC-LAYER-UNKNOWN";
 inline constexpr std::string_view kRuleNondetClock = "CC-NONDET-CLOCK";
 inline constexpr std::string_view kRuleNondetRand = "CC-NONDET-RAND";
 inline constexpr std::string_view kRuleBannedFunc = "CC-BANNED-FUNC";
+// v2 families (DESIGN.md §13): lockset races, failure-unwind safety, and
+// static p2p protocol matching.
+inline constexpr std::string_view kRuleRaceUnguarded = "CC-RACE-UNGUARDED";
+inline constexpr std::string_view kRuleRaceOwner = "CC-RACE-OWNER";
+inline constexpr std::string_view kRuleRaceLockOrder = "CC-RACE-LOCKORDER";
+inline constexpr std::string_view kRuleExcNoexcept = "CC-EXC-NOEXCEPT";
+inline constexpr std::string_view kRuleExcResource = "CC-EXC-RESOURCE";
+inline constexpr std::string_view kRuleExcSwallow = "CC-EXC-SWALLOW";
+inline constexpr std::string_view kRuleP2pUnmatched = "CC-P2P-UNMATCHED";
+inline constexpr std::string_view kRuleP2pSelf = "CC-P2P-SELF";
+inline constexpr std::string_view kRuleP2pTagDiv = "CC-P2P-TAGDIV";
 
 struct RuleInfo {
   std::string_view id;
@@ -50,6 +61,8 @@ struct CallSite {
   bool method = false;    // preceded by `.` or `->`
   int line = 0;
   bool rank_conditional = false;  // under rank-derived control flow
+  std::size_t tok = 0;        // token index of the callee name
+  std::size_t args_open = 0;  // token index of the "(" opening the args
 };
 
 // Per-function summary extracted by the parser.
@@ -58,10 +71,19 @@ struct FunctionInfo {
   int line = 0;           // line of the opening parenthesis
   std::size_t body_begin = 0;  // token index of `{`
   std::size_t body_end = 0;    // token index one past matching `}`
+  std::size_t name_tok = 0;    // token index of the name
+  std::string class_name;  // `X` for out-of-line `X::f` definitions
+  bool is_dtor = false;
+  bool is_noexcept = false;  // explicit noexcept (dtors are implicit)
   std::vector<CallSite> calls;
   // Filled by the collective analysis:
   bool has_direct_collective = false;
   bool collective_bearing = false;  // transitively reaches a collective
+  // Variables assigned under rank-dependent control flow (feeds the
+  // CC-P2P-TAGDIV rule) and aliases of `<receiver>.rank()` (feeds
+  // CC-P2P-SELF): (alias, receiver) pairs.
+  std::vector<std::string> divergent_vars;
+  std::vector<std::pair<std::string, std::string>> rank_aliases;
 };
 
 struct FileUnit {

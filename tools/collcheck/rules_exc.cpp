@@ -1,0 +1,193 @@
+// CC-EXC-* rules: failure-unwind safety.  Every collective/recv call in
+// simmpi is a RankDeadError throw site (a peer may die mid-operation), so:
+//   CC-EXC-NOEXCEPT  noexcept function (or destructor, implicitly
+//                    noexcept) whose body can reach a throw site —
+//                    std::terminate on the first injected failure
+//   CC-EXC-RESOURCE  a manually-acquired resource (mutex .lock(), parked
+//                    mailbox, uncommitted update) held across a throw
+//                    site with no RAII guard to release it on unwind
+//   CC-EXC-SWALLOW   a catch block naming RankDeadError that neither
+//                    rethrows nor invokes recovery — the death signal is
+//                    silently dropped and the survivors hang
+// See DESIGN.md §13 for the throw-site model.
+#include <string>
+#include <vector>
+
+#include "dataflow.hpp"
+#include "tokutil.hpp"
+
+namespace collcheck {
+
+namespace {
+
+// try-block regions of a function (body token spans).  A throwing call
+// inside a try is assumed handled by its catch clauses.
+std::vector<std::pair<std::size_t, std::size_t>> try_regions(
+    const Toks& toks, const FunctionInfo& fn) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+    if (!is_ident(toks[i], "try") || !is_punct(toks[i + 1], "{")) continue;
+    const std::size_t close = match_bracket(toks, i + 1);
+    if (close < fn.body_end) out.emplace_back(i + 2, close);
+  }
+  return out;
+}
+
+bool in_any(const std::vector<std::pair<std::size_t, std::size_t>>& regions,
+            std::size_t tok) {
+  for (const auto& [b, e] : regions) {
+    if (tok >= b && tok < e) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CC-EXC-NOEXCEPT
+// ---------------------------------------------------------------------------
+
+void check_noexcept(const SharedModel& m, std::vector<Finding>& findings) {
+  const std::vector<FileUnit>& files = *m.files;
+  for (const FnFacts& ff : m.fns) {
+    const FileUnit& unit = files[ff.file_index];
+    const FunctionInfo& fn = unit.functions[ff.fn_index];
+    if (!fn.is_noexcept && !fn.is_dtor) continue;
+    if (ff.swallows_all) continue;  // catch (...) firewall inside
+    const Toks& toks = unit.lexed.tokens;
+    const auto tries = try_regions(toks, fn);
+    std::string via;
+    int via_line = 0;
+    for (const CallSite& c : fn.calls) {
+      if (!m.call_may_throw(c)) continue;
+      if (in_any(tries, c.tok)) continue;
+      via = c.name;
+      via_line = c.line;
+      break;
+    }
+    if (via.empty()) {
+      // Explicit `throw <Rank…Error>` outside any try.
+      for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+        if (!is_ident(toks[i], "throw")) continue;
+        if (in_any(tries, i)) continue;
+        const Token& next = toks[i + 1];
+        if (next.kind == TokKind::kIdent &&
+            (next.text.find("RankDead") != std::string::npos ||
+             next.text.find("RankKilled") != std::string::npos ||
+             next.text.find("RankFailure") != std::string::npos)) {
+          via = next.text;
+          via_line = toks[i].line;
+          break;
+        }
+      }
+    }
+    if (via.empty()) continue;
+    const char* what = fn.is_dtor && !fn.is_noexcept
+                           ? "destructor (implicitly noexcept)"
+                           : "noexcept function";
+    findings.push_back(Finding{
+        std::string(kRuleExcNoexcept), unit.path, fn.line,
+        std::string(what) + " '" + fn.name +
+            "' can reach a RankDeadError throw site via '" + via +
+            "' (line " + std::to_string(via_line) +
+            "); a failure here is std::terminate, not recovery"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CC-EXC-RESOURCE
+// ---------------------------------------------------------------------------
+
+void check_resource(const SharedModel& m, std::vector<Finding>& findings) {
+  const std::vector<FileUnit>& files = *m.files;
+  for (const FnFacts& ff : m.fns) {
+    const FileUnit& unit = files[ff.file_index];
+    const FunctionInfo& fn = unit.functions[ff.fn_index];
+    const Toks& toks = unit.lexed.tokens;
+    const auto tries = try_regions(toks, fn);
+    for (const ManualSpan& span : ff.guards.manual) {
+      for (const CallSite& c : fn.calls) {
+        if (c.tok <= span.open_tok || c.tok >= span.close_tok) continue;
+        if (!m.call_may_throw(c)) continue;
+        if (in_any(tries, c.tok)) continue;
+        findings.push_back(Finding{
+            std::string(kRuleExcResource), unit.path, span.line,
+            "non-RAII " + span.what + " is held across '" + c.name +
+                "' (line " + std::to_string(c.line) +
+                "), which can throw RankDeadError; unwinding leaks the "
+                "resource — use a guard object or release before the "
+                "call"});
+        break;  // one finding per span
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CC-EXC-SWALLOW
+// ---------------------------------------------------------------------------
+
+// Tokens that count as "the handler engaged the failure protocol":
+// rethrow, ULFM-style shrink, the recovery service, runtime bookkeeping
+// (rank_died/record_primary), or arming the comm's fail_pending_ latch.
+bool has_recovery_token(const Toks& toks, std::size_t b, std::size_t e) {
+  for (std::size_t i = b; i < e && i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& s = toks[i].text;
+    if (s == "throw" || s == "rethrow_exception" || s == "shrink" ||
+        s == "recover" || s == "recover_world" || s == "rank_died" ||
+        s == "record_primary" || s == "fail_pending_") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_swallow(const SharedModel& m, std::vector<Finding>& findings) {
+  for (const FileUnit& unit : *m.files) {
+    const Toks& toks = unit.lexed.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "catch") || !is_punct(toks[i + 1], "(")) {
+        continue;
+      }
+      const std::size_t close = match_bracket(toks, i + 1);
+      if (close >= toks.size()) continue;
+      bool names_rankdead = false;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (toks[k].kind == TokKind::kIdent &&
+            toks[k].text.find("RankDeadError") != std::string::npos) {
+          names_rankdead = true;
+          break;
+        }
+      }
+      if (!names_rankdead) continue;
+      if (close + 1 >= toks.size() || !is_punct(toks[close + 1], "{")) {
+        continue;
+      }
+      const std::size_t bend = match_bracket(toks, close + 1);
+      if (bend >= toks.size()) continue;
+      if (has_recovery_token(toks, close + 2, bend)) continue;
+      // An empty handler immediately followed by recovery is the
+      // documented observe-then-shrink idiom (survivors note the death,
+      // then collectively recover): look a short distance past the block.
+      if (bend == close + 2 &&
+          has_recovery_token(toks, bend + 1,
+                             std::min(bend + 40, toks.size()))) {
+        continue;
+      }
+      findings.push_back(Finding{
+          std::string(kRuleExcSwallow), unit.path, toks[i].line,
+          "catch block swallows RankDeadError without rethrowing or "
+          "invoking recovery (shrink/recover_world); the death signal is "
+          "lost and surviving ranks will hang in the next collective"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_exc_rules(const SharedModel& m, std::vector<Finding>& findings) {
+  check_noexcept(m, findings);
+  check_resource(m, findings);
+  check_swallow(m, findings);
+}
+
+}  // namespace collcheck
