@@ -23,7 +23,7 @@ cmake --build "$build" -j --target micro_primitives fig3b_reduction_overhead_hpc
 
 echo "== kernel micro-benchmarks (median of $reps) =="
 "$build/bench/micro_primitives" \
-  --benchmark_filter='gf_mul_add|crc32c|sha1_blocks|cdc_chunking|BM_HMerge|BM_FpSetSerialization' \
+  --benchmark_filter='gf_mul_add|crc32c|sha1_blocks|cdc_chunking|hmerge_keys|BM_HMerge|BM_FpSetSerialization' \
   --benchmark_repetitions="$reps" \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "$build/micro_kernels.json"
@@ -77,6 +77,45 @@ for kernel in ("gf_mul_add", "crc32c", "sha1_blocks", "cdc_chunking"):
         "speedup": round(variants[best] / baseline, 2),
     }
 
+# hmerge kernel: entries/s per variant across the size x duplicate-ratio
+# sweep, plus dispatched-vs-scalar speedups at the 65536-entry point the
+# acceptance gate uses (geomean across the overlap sweep so neither the
+# disjoint nor the all-duplicate fast path dominates the ratio).
+hmerge_rates = {}
+for name, b in medians.items():
+    if not name.startswith("hmerge_keys/"):
+        continue
+    _, variant, size, overlap = name.split("/")
+    hmerge_rates.setdefault(variant, {})[f"{size}/{overlap}"] = round(
+        b["items_per_second"] / 1e6, 1)
+
+if hmerge_rates and "scalar" in hmerge_rates:
+    overlaps = ("0", "25", "75", "100")
+
+    def speedup_at(variant, size, ov):
+        return (hmerge_rates[variant][f"{size}/{ov}"] /
+                hmerge_rates["scalar"][f"{size}/{ov}"])
+
+    def geomean(vals):
+        prod = 1.0
+        for v in vals:
+            prod *= v
+        return prod ** (1.0 / len(vals))
+
+    best = max(hmerge_rates,
+               key=lambda v: geomean([speedup_at(v, 65536, ov)
+                                      for ov in overlaps]))
+    kernels["hmerge"] = {
+        "variants_mkeys_per_s": {k: dict(sorted(v.items()))
+                                 for k, v in sorted(hmerge_rates.items())},
+        "baseline": "scalar",
+        "best": best,
+        "speedup_65536_by_overlap": {
+            ov: round(speedup_at(best, 65536, ov), 2) for ov in overlaps},
+        "speedup": round(geomean([speedup_at(best, 65536, ov)
+                                  for ov in overlaps]), 2),
+    }
+
 def items(prefix):
     return {
         name.split("/", 1)[1]: round(b["items_per_second"] / 1e6, 3)
@@ -89,6 +128,7 @@ result = {
     "kernels": kernels,
     "fp_set": {
         "hmerge_mentries_per_s": items("BM_HMerge"),
+        "hmerge_kway_mentries_per_s": items("BM_HMergeKway"),
         "serialization_mentries_per_s": items("BM_FpSetSerialization"),
     },
     "fig3b": {
@@ -106,4 +146,20 @@ print(f"wrote {out_path}")
 for kernel, info in kernels.items():
     print(f"  {kernel}: {info['best']} {info['speedup']}x over {info['baseline']}")
 print(f"  fig3b: {result['fig3b']['speedup']}x")
+
+# Floor gate: with any SIMD merge variant available, the dispatched HMERGE
+# kernel must clear COLLREP_HMERGE_MIN_SPEEDUP x scalar at 65536 entries
+# (geomean over the overlap sweep).  The default floor is deliberately
+# below the 3x measured on the AVX2 reference host so shared-runner noise
+# does not flake CI; the checked-in BENCH_kernels.json carries the real
+# ratio and the perf-gate ratchets it.
+import os
+floor = float(os.environ.get("COLLREP_HMERGE_MIN_SPEEDUP", "2.0"))
+if "hmerge" in kernels and len(hmerge_rates) > 1:
+    got = kernels["hmerge"]["speedup"]
+    if got < floor:
+        print(f"FAIL: hmerge dispatched speedup {got}x < {floor}x floor "
+              f"(COLLREP_HMERGE_MIN_SPEEDUP)", file=sys.stderr)
+        sys.exit(1)
+    print(f"  hmerge floor: {got}x >= {floor}x ok")
 PY

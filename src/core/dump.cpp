@@ -161,10 +161,13 @@ DumpStats Dumper::dump_output(const chunk::Dataset& buffer, int k) {
     mine.enforce_f();
     comm_.charge(static_cast<double>(local.unique_chunks.size()) *
                  cluster.merge_entry_cost_s);
-    gview = simmpi::reduce(
+    // K-way reduce: a tree node merges all children it received in one
+    // multi-way HMERGE pass (entries_scanned still totals the incoming
+    // entries, so the charged merge time matches the old pairwise sum).
+    gview = simmpi::reduce_kway(
         comm_, std::move(mine),
-        [this, &cluster](BoundedFpSet a, BoundedFpSet b) {
-          const MergeStats ms = a.merge_from(std::move(b));
+        [this, &cluster](BoundedFpSet a, std::vector<BoundedFpSet> children) {
+          const MergeStats ms = a.merge_many(std::move(children));
           comm_.charge(static_cast<double>(ms.entries_scanned) *
                        cluster.merge_entry_cost_s);
           return a;

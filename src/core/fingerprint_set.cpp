@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
+
+#include "kernels/kernels.hpp"
 
 namespace collrep::core {
 
@@ -11,35 +14,117 @@ namespace {
 
 constexpr std::size_t kFpBytes = hash::Fingerprint::kBytes;
 
-// delta = a - b over the fingerprint bytes viewed as one big-endian
-// 160-bit integer (byte-lexicographic order == big-endian numeric order,
-// which is exactly the order entries are sorted in).
+// The 20 fingerprint bytes viewed as one big-endian 160-bit integer,
+// split into limbs: two u64 + one u32, most significant first.  Byte-
+// lexicographic order == big-endian numeric order, which is exactly the
+// order entries are sorted in.
+struct FpLimbs {
+  std::uint64_t w0;
+  std::uint64_t w1;
+  std::uint32_t w2;
+};
+
+std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+FpLimbs to_limbs(const hash::Fingerprint& fp) noexcept {
+  const auto b = fp.bytes();
+  return {load_be64(b.data()), load_be64(b.data() + 8),
+          load_be32(b.data() + 16)};
+}
+
+// delta = a - b over the 160-bit big-endian integers, limb-at-a-time
+// with borrow propagation (the byte loop this replaces was a hot spot of
+// serialization at large F).
 std::array<std::uint8_t, kFpBytes> fp_sub(const hash::Fingerprint& a,
                                           const hash::Fingerprint& b) {
+  const FpLimbs la = to_limbs(a);
+  const FpLimbs lb = to_limbs(b);
+  const std::uint32_t d2 = la.w2 - lb.w2;
+  std::uint64_t borrow = la.w2 < lb.w2 ? 1 : 0;
+  std::uint64_t d1 = 0;
+  std::uint64_t borrow1 = 0;
+  borrow1 = __builtin_sub_overflow(la.w1, lb.w1, &d1) ? 1 : 0;
+  borrow1 += __builtin_sub_overflow(d1, borrow, &d1) ? 1 : 0;
+  const std::uint64_t d0 = la.w0 - lb.w0 - borrow1;
   std::array<std::uint8_t, kFpBytes> delta{};
-  const auto ab = a.bytes();
-  const auto bb = b.bytes();
-  int borrow = 0;
-  for (std::size_t i = kFpBytes; i-- > 0;) {
-    const int d = static_cast<int>(ab[i]) - static_cast<int>(bb[i]) - borrow;
-    borrow = d < 0 ? 1 : 0;
-    delta[i] = static_cast<std::uint8_t>(d & 0xFF);
-  }
+  store_be64(delta.data(), d0);
+  store_be64(delta.data() + 8, d1);
+  store_be32(delta.data() + 16, d2);
   return delta;
 }
 
-// base += delta (big-endian); returns the carry out of the top byte.
+// base += delta (big-endian); returns the carry out of the top limb.
 int fp_add(hash::Fingerprint& base,
            const std::array<std::uint8_t, kFpBytes>& delta) {
+  const FpLimbs lb = to_limbs(base);
+  const std::uint64_t d0 = load_be64(delta.data());
+  const std::uint64_t d1 = load_be64(delta.data() + 8);
+  const std::uint32_t d2 = load_be32(delta.data() + 16);
+  const std::uint32_t s2 = lb.w2 + d2;
+  std::uint64_t carry = s2 < lb.w2 ? 1 : 0;
+  std::uint64_t s1 = 0;
+  std::uint64_t carry1 = 0;
+  carry1 = __builtin_add_overflow(lb.w1, d1, &s1) ? 1 : 0;
+  carry1 += __builtin_add_overflow(s1, carry, &s1) ? 1 : 0;
+  std::uint64_t s0 = 0;
+  std::uint64_t carry0 = 0;
+  carry0 = __builtin_add_overflow(lb.w0, d0, &s0) ? 1 : 0;
+  carry0 += __builtin_add_overflow(s0, carry1, &s0) ? 1 : 0;
   const auto bytes = base.bytes();
-  int carry = 0;
-  for (std::size_t i = kFpBytes; i-- > 0;) {
-    const int s = static_cast<int>(bytes[i]) + static_cast<int>(delta[i]) +
-                  carry;
-    carry = s > 0xFF ? 1 : 0;
-    bytes[i] = static_cast<std::uint8_t>(s & 0xFF);
+  store_be64(bytes.data(), s0);
+  store_be64(bytes.data() + 8, s1);
+  store_be32(bytes.data() + 16, s2);
+  return static_cast<int>(carry0);
+}
+
+// Order-preserving 64-bit prefix of a fingerprint: the first 8 bytes
+// read big-endian.  fp_a < fp_b implies key(a) <= key(b); equal keys do
+// NOT imply equal fingerprints (the callers handle both collision
+// directions).
+std::uint64_t prefix_key(const hash::Fingerprint& fp) noexcept {
+  return load_be64(fp.bytes().data());
+}
+
+// Fills `keys` with the prefix key of every entry.  Returns false when
+// two adjacent (fp-sorted) entries collide on the prefix — then the keys
+// are not strictly ascending and the hmerge kernel precondition fails.
+bool build_keys(const std::vector<FpEntry>& entries,
+                std::vector<std::uint64_t>& keys) {
+  keys.resize(entries.size());
+  bool strict = true;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::uint64_t k = prefix_key(entries[i].fp);
+    strict &= (i == 0) | (k > prev);
+    keys[i] = k;
+    prev = k;
   }
-  return carry;
+  return strict;
 }
 
 }  // namespace
@@ -164,28 +249,15 @@ void BoundedFpSet::truncate_to_f(MergeStats& stats) {
   entries_.resize(kept);
 }
 
-MergeStats BoundedFpSet::merge_from(BoundedFpSet&& other) {
-  if (other.k_ != k_ || other.f_cap_ != f_cap_ ||
-      other.rank_load_.size() != rank_load_.size()) {
-    throw std::invalid_argument("BoundedFpSet: incompatible merge operands");
-  }
-  seal();
-  other.seal();
-  MergeStats stats;
-  stats.entries_scanned = other.entries_.size();
-
-  // Combined designation counts steer the load-aware truncations below.
-  for (std::size_t i = 0; i < rank_load_.size(); ++i) {
-    rank_load_[i] += other.rank_load_[i];
-  }
-
+// Full-fingerprint reference merge.  Also the fallback when either
+// input's prefix keys are not strictly ascending (adjacent fingerprints
+// sharing their first 8 bytes), which the kernel cannot represent.
+void BoundedFpSet::merge_entries_scalar(const BoundedFpSet& other,
+                                        MergeStats& stats) {
   std::size_t live_ranks = 0;
   for (const FpEntry& e : entries_) live_ranks += e.rank_len;
   for (const FpEntry& e : other.entries_) live_ranks += e.rank_len;
 
-  // Single linear pass over both fp-sorted entry vectors; rank lists are
-  // rewritten into a fresh pool, which also drops pool garbage left by
-  // earlier truncations.
   std::vector<FpEntry> merged;
   merged.reserve(entries_.size() + other.entries_.size());
   std::vector<std::int32_t> pool;
@@ -228,6 +300,218 @@ MergeStats BoundedFpSet::merge_from(BoundedFpSet&& other) {
     FpEntry out;
     out.fp = a.fp;
     out.freq = a.freq + b.freq;
+    out.rank_off = static_cast<std::uint32_t>(pool.size());
+    out.rank_len = static_cast<std::uint32_t>(scratch.size());
+    pool.insert(pool.end(), scratch.begin(), scratch.end());
+    merged.push_back(out);
+  }
+
+  entries_ = std::move(merged);
+  rank_pool_ = std::move(pool);
+}
+
+// Applies a tag string produced by the dispatched hmerge kernel over the
+// two inputs' prefix keys: take-runs turn into one bulk entry copy each
+// (the freq/rank payload moves without being inspected), and the scalar
+// reconciliation below runs only on kHmergeMatch positions.  A match tag
+// certifies equal *prefixes*; the full fingerprints are compared here
+// and a cross-input prefix collision emits both entries, fingerprint-
+// ascending, instead of fusing them.
+void BoundedFpSet::merge_entries_kernel(const BoundedFpSet& other,
+                                        const std::uint8_t* tags,
+                                        std::size_t out_len,
+                                        MergeStats& stats) {
+  std::size_t live_ranks = 0;
+  for (const FpEntry& e : entries_) live_ranks += e.rank_len;
+  for (const FpEntry& e : other.entries_) live_ranks += e.rank_len;
+
+  std::vector<FpEntry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::vector<std::int32_t> pool;
+  pool.reserve(live_ranks);
+  std::vector<std::int32_t> scratch;
+
+  const auto copy_run = [&](const BoundedFpSet& src, std::size_t first,
+                            std::size_t len) {
+    const std::size_t at = merged.size();
+    merged.insert(merged.end(), src.entries_.begin() + first,
+                  src.entries_.begin() + first + len);
+    for (std::size_t t = 0; t < len; ++t) {
+      FpEntry& e = merged[at + t];
+      const std::uint32_t off = static_cast<std::uint32_t>(pool.size());
+      const auto r = src.ranks(e);
+      pool.insert(pool.end(), r.begin(), r.end());
+      e.rank_off = off;
+    }
+  };
+
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::size_t t = 0;
+  while (t < out_len) {
+    const std::uint8_t tag = tags[t];
+    std::size_t run = 1;
+    while (t + run < out_len && tags[t + run] == tag) ++run;
+    t += run;
+    if (tag == kernels::kHmergeTakeA) {
+      copy_run(*this, ia, run);
+      ia += run;
+      continue;
+    }
+    if (tag == kernels::kHmergeTakeB) {
+      copy_run(other, ib, run);
+      ib += run;
+      continue;
+    }
+    for (std::size_t x = 0; x < run; ++x) {
+      const FpEntry& a = entries_[ia++];
+      const FpEntry& b = other.entries_[ib++];
+      if (a.fp != b.fp) {
+        // Cross-input prefix collision: distinct fingerprints, same
+        // 8-byte prefix.  Both survive, ordered by full fingerprint.
+        const bool a_first = a.fp < b.fp;
+        copy_run(a_first ? *this : other, (a_first ? ia : ib) - 1, 1);
+        copy_run(a_first ? other : *this, (a_first ? ib : ia) - 1, 1);
+        continue;
+      }
+      scratch.clear();
+      const auto ra = ranks(a);
+      const auto rb = other.ranks(b);
+      std::merge(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                 std::back_inserter(scratch));
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      truncate_ranks(scratch, stats);
+
+      FpEntry out;
+      out.fp = a.fp;
+      out.freq = a.freq + b.freq;
+      out.rank_off = static_cast<std::uint32_t>(pool.size());
+      out.rank_len = static_cast<std::uint32_t>(scratch.size());
+      pool.insert(pool.end(), scratch.begin(), scratch.end());
+      merged.push_back(out);
+    }
+  }
+
+  entries_ = std::move(merged);
+  rank_pool_ = std::move(pool);
+}
+
+MergeStats BoundedFpSet::merge_from(BoundedFpSet&& other) {
+  if (other.k_ != k_ || other.f_cap_ != f_cap_ ||
+      other.rank_load_.size() != rank_load_.size()) {
+    throw std::invalid_argument("BoundedFpSet: incompatible merge operands");
+  }
+  seal();
+  other.seal();
+  MergeStats stats;
+  stats.entries_scanned = other.entries_.size();
+
+  // Combined designation counts steer the load-aware truncations below.
+  for (std::size_t i = 0; i < rank_load_.size(); ++i) {
+    rank_load_[i] += other.rank_load_[i];
+  }
+
+  std::vector<std::uint64_t> ka;
+  std::vector<std::uint64_t> kb;
+  if (build_keys(entries_, ka) && build_keys(other.entries_, kb)) {
+    std::vector<std::uint8_t> tags(ka.size() + kb.size());
+    const kernels::HmergeResult plan = kernels::dispatch().hmerge(
+        ka.data(), ka.size(), kb.data(), kb.size(), tags.data());
+    merge_entries_kernel(other, tags.data(), plan.out_len, stats);
+  } else {
+    merge_entries_scalar(other, stats);
+  }
+  truncate_to_f(stats);
+  return stats;
+}
+
+MergeStats BoundedFpSet::merge_many(std::vector<BoundedFpSet>&& others) {
+  MergeStats stats;
+  if (others.empty()) return stats;
+  for (const BoundedFpSet& o : others) {
+    if (o.k_ != k_ || o.f_cap_ != f_cap_ ||
+        o.rank_load_.size() != rank_load_.size()) {
+      throw std::invalid_argument("BoundedFpSet: incompatible merge operands");
+    }
+  }
+  seal();
+  std::size_t total = entries_.size();
+  std::size_t live_ranks = 0;
+  for (const FpEntry& e : entries_) live_ranks += e.rank_len;
+  for (BoundedFpSet& o : others) {
+    o.seal();
+    stats.entries_scanned += o.entries_.size();
+    total += o.entries_.size();
+    for (const FpEntry& e : o.entries_) live_ranks += e.rank_len;
+    for (std::size_t i = 0; i < rank_load_.size(); ++i) {
+      rank_load_[i] += o.rank_load_[i];
+    }
+  }
+
+  // One multi-way pass over all fp-sorted inputs.  The source count is a
+  // reduction-tree fan-in (single digits), so a linear min-scan per
+  // output beats heap bookkeeping; every input entry is read exactly
+  // once and the accumulated set is written exactly once — iterated
+  // pairwise merging would rewrite it once per child.
+  struct Source {
+    const BoundedFpSet* set;
+    std::size_t pos;
+  };
+  std::vector<Source> srcs;
+  srcs.reserve(1 + others.size());
+  srcs.push_back({this, 0});
+  for (const BoundedFpSet& o : others) srcs.push_back({&o, 0});
+
+  std::vector<FpEntry> merged;
+  merged.reserve(total);
+  std::vector<std::int32_t> pool;
+  pool.reserve(live_ranks);
+  std::vector<std::int32_t> scratch;
+  std::vector<std::size_t> hits;  // source indices at the current minimum
+
+  for (;;) {
+    const hash::Fingerprint* min_fp = nullptr;
+    hits.clear();
+    for (std::size_t si = 0; si < srcs.size(); ++si) {
+      const Source& s = srcs[si];
+      if (s.pos >= s.set->entries_.size()) continue;
+      const hash::Fingerprint& fp = s.set->entries_[s.pos].fp;
+      if (min_fp == nullptr || fp < *min_fp) {
+        min_fp = &fp;
+        hits.clear();
+        hits.push_back(si);
+      } else if (fp == *min_fp) {
+        hits.push_back(si);
+      }
+    }
+    if (min_fp == nullptr) break;
+    if (hits.size() == 1) {
+      Source& s = srcs[hits[0]];
+      const FpEntry& e = s.set->entries_[s.pos++];
+      FpEntry out = e;
+      out.rank_off = static_cast<std::uint32_t>(pool.size());
+      const auto r = s.set->ranks(e);
+      pool.insert(pool.end(), r.begin(), r.end());
+      merged.push_back(out);
+      continue;
+    }
+    // Shared fingerprint across several children: sum frequencies, union
+    // all rank lists, enforce K once against the combined loads.
+    FpEntry out;
+    out.fp = *min_fp;
+    out.freq = 0;
+    scratch.clear();
+    for (const std::size_t si : hits) {
+      Source& s = srcs[si];
+      const FpEntry& e = s.set->entries_[s.pos++];
+      out.freq += e.freq;
+      const auto r = s.set->ranks(e);
+      scratch.insert(scratch.end(), r.begin(), r.end());
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    truncate_ranks(scratch, stats);
     out.rank_off = static_cast<std::uint32_t>(pool.size());
     out.rank_len = static_cast<std::uint32_t>(scratch.size());
     pool.insert(pool.end(), scratch.begin(), scratch.end());
@@ -287,8 +571,9 @@ void save(simmpi::OArchive& ar, const BoundedFpSet& s) {
 
   std::size_t live_ranks = 0;
   for (const FpEntry& e : s.entries_) live_ranks += e.rank_len;
-  // Worst case per entry: 2 header bytes + full fingerprint + 5-byte freq
-  // varint; 5 bytes per designated rank.
+  // One reservation covers the worst case of the whole entry stream: 2
+  // header bytes + full fingerprint + 5-byte freq varint per entry, 5
+  // bytes per designated rank.
   ar.reserve(s.entries_.size() * (2 + kFpBytes + 5 + 5) + live_ranks * 5);
 
   hash::Fingerprint prev;
@@ -299,9 +584,13 @@ void save(simmpi::OArchive& ar, const BoundedFpSet& s) {
     std::size_t last = kFpBytes;
     while (last > lead && delta[last - 1] == 0) --last;
     const std::size_t len = last - lead;  // 0 only for an all-zero delta
-    ar.put(static_cast<std::uint8_t>(lead));
-    ar.put(static_cast<std::uint8_t>(len));
-    ar.write_raw(delta.data() + lead, len);
+    // One buffer append for the fixed-layout head (lead, len, delta run)
+    // instead of three; the varints batch their bytes internally.
+    std::uint8_t head[2 + kFpBytes];
+    head[0] = static_cast<std::uint8_t>(lead);
+    head[1] = static_cast<std::uint8_t>(len);
+    std::memcpy(head + 2, delta.data() + lead, len);
+    ar.write_raw(head, 2 + len);
     ar.put_varint(e.freq);
     const auto r = s.ranks(e);
     ar.put_varint(r.size());
@@ -327,6 +616,7 @@ void load(simmpi::IArchive& ar, BoundedFpSet& s) {
   s.entries_.clear();
   s.entries_.reserve(count);
   s.rank_pool_.clear();
+  s.rank_pool_.reserve(count);  // >= one designated rank per entry
 
   hash::Fingerprint prev;
   for (std::size_t i = 0; i < count; ++i) {

@@ -55,7 +55,24 @@ class BoundedFpSet {
   MergeStats enforce_f();
 
   // HMERGE: folds `other` into *this, then re-enforces both bounds.
+  //
+  // The key-intersection scan runs through the dispatched hmerge kernel
+  // (src/kernels) over 64-bit big-endian fingerprint prefixes: the kernel
+  // plans the merge as a tag string, take-runs become bulk entry copies,
+  // and the scalar freq/rank reconciliation touches only matched entries.
+  // Entries whose prefixes collide within one input (never seen with real
+  // digests, but legal) fall back to the full-fingerprint scalar merge.
   MergeStats merge_from(BoundedFpSet&& other);
+
+  // K-way HMERGE: folds all of `others` into *this in one multi-way pass
+  // — a reduction-tree node with several children merges every child
+  // against the accumulated set once, instead of rewriting the
+  // accumulator per child as iterated merge_from calls would.  Both
+  // bounds are re-enforced once, against the combined designation loads,
+  // so results can differ from iterated pairwise merges when the K or F
+  // bound binds at an intermediate step (the bounds themselves still
+  // hold).  entries_scanned sums the incoming entry counts.
+  MergeStats merge_many(std::vector<BoundedFpSet>&& others);
 
   // Drops frequency-1 entries.  Applied to the fully reduced set before
   // broadcast: a singleton's only holder behaves identically whether the
@@ -105,6 +122,15 @@ class BoundedFpSet {
   // Keeps the K least-loaded designated ranks of `scratch` (ties toward
   // the lower rank id), releasing the dropped ranks' load.
   void truncate_ranks(std::vector<std::int32_t>& scratch, MergeStats& stats);
+  // Full-fingerprint two-pointer merge; the fallback when prefix keys
+  // are not strictly ascending, and the reference the kernel path must
+  // match bit-for-bit.
+  void merge_entries_scalar(const BoundedFpSet& other, MergeStats& stats);
+  // Kernel-planned merge: tags from the dispatched hmerge kernel drive
+  // bulk take-run copies and match-only reconciliation.
+  void merge_entries_kernel(const BoundedFpSet& other,
+                            const std::uint8_t* tags, std::size_t out_len,
+                            MergeStats& stats);
   // Drops least frequent entries until size() <= F.
   void truncate_to_f(MergeStats& stats);
 

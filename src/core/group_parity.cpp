@@ -137,10 +137,10 @@ EcDumpStats EcDumper::dump_output(const chunk::Dataset& buffer) {
       mine.add_local(local.chunk_fps[u], rank);
     }
     mine.enforce_f();
-    gview = simmpi::reduce(
+    gview = simmpi::reduce_kway(
         comm_, std::move(mine),
-        [&](core::BoundedFpSet a, core::BoundedFpSet b) {
-          const auto ms = a.merge_from(std::move(b));
+        [&](core::BoundedFpSet a, std::vector<core::BoundedFpSet> children) {
+          const auto ms = a.merge_many(std::move(children));
           comm_.charge(static_cast<double>(ms.entries_scanned) *
                        cluster.merge_entry_cost_s);
           return a;

@@ -150,6 +150,46 @@ T reduce(Comm& comm, T value, Op op, int root = 0,
   return value;
 }
 
+// K-way reduce: same binomial communication schedule (and therefore the
+// same tag/fingerprint behavior) as reduce(), but a parent collects ALL
+// of its children's subtree values before combining, and hands them to
+// `opk(accumulated, children)` in one call.  A k-way-capable operator —
+// BoundedFpSet::merge_many is the motivating one — then performs a
+// single cache-friendly multi-way pass instead of rewriting the
+// accumulator once per child.  `opk` must be order-insensitive across
+// children (the children arrive partner-order, lowest mask first).
+// Non-root ranks return their partial accumulation.
+template <class T, class OpK>
+T reduce_kway(Comm& comm, T value, OpK opk, int root = 0,
+              std::source_location loc = std::source_location::current()) {
+  const int n = comm.size();
+  const detail::CollectiveScope scope(
+      comm, obs::CollectiveKind::kReduce, detail::tree_rounds(n),
+      detail::fingerprint<T>(obs::CollectiveKind::kReduce, root,
+                             typeid(OpK).hash_code()),
+      loc);
+  const int vrank = (comm.rank() - root + n) % n;
+  std::vector<T> children;
+  int mask = 1;
+  for (; mask < n; mask <<= 1) {
+    if ((vrank & mask) != 0) break;
+    const int partner_v = vrank | mask;
+    if (partner_v < n) {
+      children.push_back(
+          comm.recv_value<T>((partner_v + root) % n, tags::kReduce));
+    }
+  }
+  if (!children.empty()) {
+    value = opk(std::move(value), std::move(children));
+  }
+  if (mask < n) {
+    const int parent_v = vrank ^ mask;
+    comm.send_value((parent_v + root) % n, tags::kReduce, value);
+  }
+  comm.fault_point("coll.post");
+  return value;
+}
+
 // Allreduce = binomial reduce to rank 0 + binomial broadcast, mirroring the
 // paper's ALLREDUCE(HMERGE, LHashes) step.
 template <class T, class Op>

@@ -192,6 +192,14 @@ TEST(Collcheck, LayerTablePinsTheDag) {
   EXPECT_EQ(collcheck::layer_rank("no-such-layer"), -1);
 
   EXPECT_EQ(collcheck::component_of("src/core/dump.cpp"), "core");
+  // The merge kernel family lives at the bottom of the DAG: core's
+  // planned HMERGE may depend on it, never the other way around.
+  EXPECT_EQ(collcheck::component_of("src/kernels/merge_kernels.cpp"),
+            "kernels");
+  EXPECT_EQ(
+      collcheck::layer_rank(
+          collcheck::component_of("src/kernels/merge_kernels.cpp")),
+      0);
   EXPECT_EQ(collcheck::component_of("tests/dump_test.cpp"), "tests");
   EXPECT_EQ(collcheck::component_of(
                 "tools/collcheck/fixtures/layering/src/ec/bad_up.hpp"),

@@ -241,6 +241,141 @@ TEST(KernelsCdc, SkipAheadIsCutPointIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// HMERGE planned-merge kernel
+// ---------------------------------------------------------------------------
+
+// Naive oracle: two-pointer union/intersection over the key sets.
+kernels::HmergeResult hmerge_naive(const std::vector<std::uint64_t>& a,
+                                   const std::vector<std::uint64_t>& b,
+                                   std::vector<std::uint8_t>& tags) {
+  kernels::HmergeResult r{0, 0};
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      tags[r.out_len++] = kernels::kHmergeMatch;
+      ++r.matches;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      tags[r.out_len++] = kernels::kHmergeTakeA;
+      ++i;
+    } else {
+      tags[r.out_len++] = kernels::kHmergeTakeB;
+      ++j;
+    }
+  }
+  while (i++ < a.size()) tags[r.out_len++] = kernels::kHmergeTakeA;
+  while (j++ < b.size()) tags[r.out_len++] = kernels::kHmergeTakeB;
+  return r;
+}
+
+// Runs every available variant on (a, b) and checks the plan — result
+// counts and the full tag string — against the naive oracle.
+void check_hmerge(const std::vector<std::uint64_t>& a,
+                  const std::vector<std::uint64_t>& b,
+                  const std::string& label) {
+  const auto variants = kernels::hmerge_variants();
+  ASSERT_FALSE(variants.empty());
+  ASSERT_STREQ(variants[0].name, "scalar");
+  ASSERT_TRUE(variants[0].available);
+
+  std::vector<std::uint8_t> want_tags(a.size() + b.size() + 1, 0xAA);
+  const auto want = hmerge_naive(a, b, want_tags);
+  ASSERT_EQ(want.out_len, a.size() + b.size() - want.matches) << label;
+
+  for (const auto& v : variants) {
+    if (!v.available) continue;
+    std::vector<std::uint8_t> tags(a.size() + b.size() + 1, 0x55);
+    const auto got = v.fn(a.data(), a.size(), b.data(), b.size(), tags.data());
+    ASSERT_EQ(got.out_len, want.out_len) << v.name << " " << label;
+    ASSERT_EQ(got.matches, want.matches) << v.name << " " << label;
+    for (std::size_t t = 0; t < got.out_len; ++t) {
+      ASSERT_EQ(tags[t], want_tags[t])
+          << v.name << " " << label << " tag " << t;
+    }
+  }
+}
+
+std::vector<std::uint64_t> iota_keys(std::uint64_t start, std::size_t n,
+                                     std::uint64_t step = 1) {
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = start + i * step;
+  return out;
+}
+
+TEST(KernelsHmerge, EmptyAndOneSided) {
+  check_hmerge({}, {}, "both empty");
+  check_hmerge(iota_keys(0, 100), {}, "b empty");
+  check_hmerge({}, iota_keys(0, 100), "a empty");
+  check_hmerge(iota_keys(0, 5000), {42}, "singleton b");
+  check_hmerge({42}, iota_keys(0, 5000), "singleton a");
+}
+
+TEST(KernelsHmerge, AllDuplicates) {
+  // Identical inputs at sizes straddling the 16-key block, the dup-run
+  // gallop stride, and the 4096-key segmentation threshold.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{15}, std::size_t{16},
+                              std::size_t{17}, std::size_t{24},
+                              std::size_t{4095}, std::size_t{4096},
+                              std::size_t{4097}, std::size_t{10000}}) {
+    const auto keys = iota_keys(1000, n, 3);
+    check_hmerge(keys, keys, "all-dup n=" + std::to_string(n));
+  }
+}
+
+TEST(KernelsHmerge, FullyAlternating) {
+  // a holds the even keys, b the odd: every block is interleaved, the
+  // burst path does all the work.
+  for (const std::size_t n : {std::size_t{16}, std::size_t{33},
+                              std::size_t{4097}, std::size_t{8192}}) {
+    check_hmerge(iota_keys(0, n, 2), iota_keys(1, n, 2),
+                 "alternating n=" + std::to_string(n));
+  }
+}
+
+TEST(KernelsHmerge, LongDisjointRuns) {
+  // Fully disjoint halves (one gallop each), then alternating runs of a
+  // few hundred keys (the skip-compare + gallop steady state).
+  check_hmerge(iota_keys(0, 6000), iota_keys(6000, 6000), "disjoint halves");
+  check_hmerge(iota_keys(6000, 6000), iota_keys(0, 6000),
+               "disjoint halves swapped");
+  std::vector<std::uint64_t> a, b;
+  for (std::uint64_t run = 0; run < 40; ++run) {
+    auto& side = (run % 2 == 0) ? a : b;
+    const auto keys = iota_keys(run * 300, 300);
+    side.insert(side.end(), keys.begin(), keys.end());
+  }
+  check_hmerge(a, b, "run-length 300 alternation");
+}
+
+TEST(KernelsHmerge, UnalignedCountsRandomized) {
+  // Random scattered-overlap worlds with deliberately lopsided and
+  // non-multiple-of-16 sizes, crossing the segmentation threshold.
+  std::mt19937_64 rng(0xC0FFEE09);
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1},     {2, 3},      {17, 33},    {129, 4097},
+      {255, 257}, {4095, 31}, {5000, 4999}, {9001, 8192},
+  };
+  for (const auto& [na, nb] : shapes) {
+    for (int trial = 0; trial < 3; ++trial) {
+      // Sample keys from a small universe so every regime appears.
+      const std::uint64_t universe = 1 + (na + nb) * 2 / 3;
+      std::vector<std::uint64_t> a, b;
+      while (a.size() < na) a.push_back(rng() % universe);
+      while (b.size() < nb) b.push_back(rng() % universe);
+      for (auto* v : {&a, &b}) {
+        std::sort(v->begin(), v->end());
+        v->erase(std::unique(v->begin(), v->end()), v->end());
+      }
+      check_hmerge(a, b,
+                   "random na=" + std::to_string(a.size()) +
+                       " nb=" + std::to_string(b.size()) + " t" +
+                       std::to_string(trial));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // BoundedFpSet vs map-based reference model
 // ---------------------------------------------------------------------------
 
@@ -462,14 +597,185 @@ TEST(KernelsFpSet, DeltaArchiveIsCompact) {
   EXPECT_LT(bytes.size(), 1000 * 20);
 }
 
+hash::Fingerprint fp_with_prefix(std::uint64_t prefix, std::uint8_t tail) {
+  std::uint8_t digest[20] = {};
+  for (int i = 0; i < 8; ++i) {
+    digest[i] = static_cast<std::uint8_t>(prefix >> (56 - 8 * i));
+  }
+  digest[19] = tail;
+  return hash::Fingerprint(digest);
+}
+
+TEST(KernelsFpSet, PrefixCollisionsFallBackAndMergeCorrectly) {
+  // Fingerprints sharing their first 8 bytes defeat the 64-bit planning
+  // keys.  Within one input they force the full-fingerprint scalar path;
+  // across inputs they exercise the kernel path's false-match
+  // verification.  Either way the result must match the reference model.
+  struct Case {
+    bool collide_within;  // both colliding fps on one side
+    const char* label;
+  };
+  for (const Case c : {Case{true, "within"}, Case{false, "across"}}) {
+    const int nranks = 4;
+    core::BoundedFpSet a(64, 3, nranks);
+    core::BoundedFpSet b(64, 3, nranks);
+    RefModel ra(64, 3, nranks);
+    RefModel rb(64, 3, nranks);
+    const auto add = [&](core::BoundedFpSet& s, RefModel& r,
+                         const hash::Fingerprint& fp, int rank) {
+      s.add_local(fp, rank);
+      r.add_local(fp, rank);
+    };
+    // Distinct-prefix background so the planned path has real work.
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      add(a, ra, fp_with_prefix(i * 11 + 1, 0), 0);
+      if (i % 3 != 0) add(b, rb, fp_with_prefix(i * 11 + 1, 0), 1);
+      add(b, rb, fp_with_prefix(i * 11 + 5, 0), 1);
+    }
+    if (c.collide_within) {
+      add(a, ra, fp_with_prefix(500, 1), 0);
+      add(a, ra, fp_with_prefix(500, 2), 0);
+      add(b, rb, fp_with_prefix(500, 2), 1);
+    } else {
+      // Cross-input-only collision: equal planning keys, unequal digests.
+      add(a, ra, fp_with_prefix(500, 1), 0);
+      add(b, rb, fp_with_prefix(500, 2), 1);
+      // And one genuine cross-input duplicate for contrast.
+      add(a, ra, fp_with_prefix(600, 7), 0);
+      add(b, rb, fp_with_prefix(600, 7), 1);
+    }
+    a.enforce_f();
+    b.enforce_f();
+    const auto fs = a.merge_from(std::move(b));
+    const auto rs = ra.merge_from(std::move(rb));
+    EXPECT_EQ(fs.entries_scanned, rs.entries_scanned) << c.label;
+    expect_equivalent(a, ra);
+  }
+}
+
+TEST(KernelsFpSet, RankListsSaturateAtK) {
+  // Every rank holds the same universe: after folding all leaves each
+  // fingerprint has nranks holders but only K designated ranks, and the
+  // designation load stays balanced by the load-aware truncation.
+  const int nranks = 9;
+  const int k = 3;
+  core::BoundedFpSet acc(128, k, nranks);
+  for (int rank = 0; rank < nranks; ++rank) {
+    core::BoundedFpSet leaf(128, k, nranks);
+    for (std::uint64_t id = 0; id < 50; ++id) {
+      leaf.add_local(hash::Fingerprint::from_u64(id * 0x9E3779B9u), rank);
+    }
+    leaf.enforce_f();
+    if (rank == 0) {
+      acc = std::move(leaf);
+    } else {
+      acc.merge_from(std::move(leaf));
+    }
+  }
+  ASSERT_EQ(acc.size(), 50u);
+  for (const auto& e : acc.entries()) {
+    EXPECT_EQ(e.freq, static_cast<std::uint32_t>(nranks));
+    EXPECT_EQ(e.rank_len, static_cast<std::uint32_t>(k));
+  }
+  EXPECT_TRUE(acc.check_invariants());
+  // Greedy per-merge truncation balances approximately (not ±1): with 150
+  // designations over 9 ranks (~16.7 each) the spread must stay small.
+  const auto load = acc.rank_load();
+  const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+  EXPECT_LE(*hi - *lo, 4u) << "designation load should stay near-balanced";
+}
+
+TEST(KernelsFpSet, KwayMatchesIteratedPairwiseWhenBoundsAreSlack) {
+  // With F and K loose enough that no truncation fires, the k-way merge
+  // must reproduce iterated pairwise merges exactly.
+  std::mt19937_64 rng(0xC0FFEE0A);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nranks = 3 + static_cast<int>(rng() % 5);
+    const std::uint32_t f = 4096;  // never binds
+    const int k = nranks;          // never binds
+    std::vector<core::BoundedFpSet> leaves;
+    for (int rank = 0; rank < nranks; ++rank) {
+      core::BoundedFpSet leaf(f, k, nranks);
+      for (std::uint64_t id = 0; id < 60; ++id) {
+        if (rng() % 2 == 0) continue;
+        leaf.add_local(hash::Fingerprint::from_u64(id * 0x2545F491u), rank);
+      }
+      leaf.enforce_f();
+      leaves.push_back(std::move(leaf));
+    }
+    auto pairwise = leaves[0];
+    std::uint64_t scanned_pairwise = 0;
+    for (std::size_t i = 1; i < leaves.size(); ++i) {
+      auto copy = leaves[i];
+      scanned_pairwise += pairwise.merge_from(std::move(copy)).entries_scanned;
+    }
+    auto kway = std::move(leaves[0]);
+    leaves.erase(leaves.begin());
+    const auto ks = kway.merge_many(std::move(leaves));
+    EXPECT_EQ(ks.entries_scanned, scanned_pairwise) << trial;
+    ASSERT_EQ(kway.size(), pairwise.size()) << trial;
+    const auto we = pairwise.entries();
+    const auto ge = kway.entries();
+    for (std::size_t i = 0; i < we.size(); ++i) {
+      EXPECT_EQ(ge[i].fp, we[i].fp);
+      EXPECT_EQ(ge[i].freq, we[i].freq);
+      const auto rw = pairwise.ranks(we[i]);
+      const auto rg = kway.ranks(ge[i]);
+      EXPECT_EQ(std::vector<std::int32_t>(rg.begin(), rg.end()),
+                std::vector<std::int32_t>(rw.begin(), rw.end()));
+    }
+    EXPECT_TRUE(kway.check_invariants());
+  }
+}
+
+TEST(KernelsFpSet, KwayKeepsBoundsWhenTheyBind) {
+  std::mt19937_64 rng(0xC0FFEE0B);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nranks = 4 + static_cast<int>(rng() % 5);
+    const std::uint32_t f = 1 + static_cast<std::uint32_t>(rng() % 20);
+    const int k = 1 + static_cast<int>(rng() % 3);
+    std::vector<core::BoundedFpSet> leaves;
+    for (int rank = 0; rank < nranks; ++rank) {
+      core::BoundedFpSet leaf(f, k, nranks);
+      for (std::uint64_t id = 0; id < 40; ++id) {
+        if (rng() % 3 == 0) continue;
+        leaf.add_local(hash::Fingerprint::from_u64(id * 0x9E3779B9u), rank);
+      }
+      leaf.enforce_f();
+      leaves.push_back(std::move(leaf));
+    }
+    auto acc = std::move(leaves[0]);
+    leaves.erase(leaves.begin());
+    acc.merge_many(std::move(leaves));
+    EXPECT_LE(acc.size(), f) << trial;
+    for (const auto& e : acc.entries()) {
+      EXPECT_LE(e.rank_len, static_cast<std::uint32_t>(k)) << trial;
+    }
+    EXPECT_TRUE(acc.check_invariants()) << trial;
+  }
+}
+
+TEST(KernelsFpSet, MergeManyWithNoChildrenIsANoop) {
+  core::BoundedFpSet s(16, 2, 4);
+  s.add_local(hash::Fingerprint::from_u64(7), 0);
+  s.enforce_f();
+  const auto bytes = simmpi::to_bytes(s);
+  const auto stats = s.merge_many({});
+  EXPECT_EQ(stats.entries_scanned, 0u);
+  EXPECT_EQ(stats.entries_dropped_f, 0u);
+  EXPECT_EQ(stats.ranks_dropped_load, 0u);
+  EXPECT_EQ(simmpi::to_bytes(s), bytes);
+}
+
 TEST(KernelsDispatch, ActiveVariantsAreAvailable) {
   const auto& d = kernels::dispatch();
   ASSERT_NE(d.gf_mul_add, nullptr);
   ASSERT_NE(d.gf_mul, nullptr);
   ASSERT_NE(d.crc32c, nullptr);
   ASSERT_NE(d.sha1_blocks, nullptr);
+  ASSERT_NE(d.hmerge, nullptr);
   // The dispatched names must correspond to available variants.
-  bool gf_ok = false, crc_ok = false, sha_ok = false;
+  bool gf_ok = false, crc_ok = false, sha_ok = false, hm_ok = false;
   for (const auto& v : kernels::gf_variants()) {
     if (v.available && std::string_view(v.name) == d.gf_name) gf_ok = true;
   }
@@ -481,9 +787,13 @@ TEST(KernelsDispatch, ActiveVariantsAreAvailable) {
   for (const auto& v : kernels::sha1_variants()) {
     if (v.available && std::string_view(v.name) == d.sha1_name) sha_ok = true;
   }
+  for (const auto& v : kernels::hmerge_variants()) {
+    if (v.available && std::string_view(v.name) == d.hmerge_name) hm_ok = true;
+  }
   EXPECT_TRUE(gf_ok) << d.gf_name;
   EXPECT_TRUE(crc_ok) << d.crc32c_name;
   EXPECT_TRUE(sha_ok) << d.sha1_name;
+  EXPECT_TRUE(hm_ok) << d.hmerge_name;
 }
 
 }  // namespace
