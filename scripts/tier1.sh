@@ -37,10 +37,13 @@ if [[ -n "${COLLREP_SANITIZE:-}" ]]; then
   cmake --build "$san_dir" -j
   # The threaded-runtime tests are where a sanitizer earns its keep; the
   # `kernels` label rides along so every dispatched SIMD path gets an
-  # ASan/TSan pass too, and `recover` keeps the shrink/containment
-  # protocol (rank death mid-collective) explicitly in the net even if
-  # its suite ever sheds the `runtime` label.
-  (cd "$san_dir" && ctest -L 'runtime|kernels|recover' --output-on-failure -j)
+  # ASan/TSan pass too, `recover` keeps the shrink/containment protocol
+  # (rank death mid-collective) explicitly in the net even if its suite
+  # ever sheds the `runtime` label, and `analyze` puts the collcheck rule
+  # engine plus its byte-mutation fuzz harness under ASan/UBSan — the
+  # analyzer parses arbitrary PR sources and must not be the flaky link.
+  (cd "$san_dir" && ctest -L 'runtime|kernels|recover|analyze' \
+      --output-on-failure -j)
 fi
 
 echo "tier1: OK"

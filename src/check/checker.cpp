@@ -482,6 +482,9 @@ void Checker::watchdog_main(const std::function<void()>& abort_run) {
 
   std::unique_lock lk(wd_mu_);
   while (!wd_stop_) {
+    // The watchdog deliberately lives on its own OS thread so it can
+    // observe hung ranks; it never runs in rank context.
+    // collcheck: fiber-safe
     wd_cv_.wait_for(lk, poll);
     if (wd_stop_) return;
     const std::uint64_t hb = heartbeat_.load();

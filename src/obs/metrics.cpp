@@ -1,7 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
 
 namespace collrep::obs {
 

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace collrep::obs {
 

@@ -1,6 +1,13 @@
 #include "obs/telemetry.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <string>
+
+#include "obs/comm_stats.hpp"
+#include "obs/trace.hpp"
 
 namespace collrep::obs {
 

@@ -14,6 +14,7 @@
 // Chrome trace pid), and rollup() merges everything seen so far.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

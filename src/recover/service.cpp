@@ -1,10 +1,15 @@
 #include "recover/service.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <map>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "simmpi/collectives.hpp"
 

@@ -22,6 +22,9 @@ void Mailbox::push(int src, int tag, Message msg) {
 Message Mailbox::pop(int src, int tag, const RunState& state) {
   std::unique_lock lk(mu_);
   const Key k = key(src, tag);
+  // The mailbox wait IS the thread-backed scheduler's parking
+  // primitive; the fiber port replaces this whole path with a
+  // yield-to-scheduler.  collcheck: fiber-safe
   cv_.wait(lk, [&] {
     const auto it = queues_.find(k);
     if (it != queues_.end() && !it->second.empty()) return true;
@@ -133,6 +136,8 @@ RunState::SyncResult RunState::sync(
     complete_sync_locked();
     return SyncResult{sync_release_, sync_deaths_};
   }
+  // Scheduler-internal barrier parking (replaced wholesale by the
+  // fiber port).  collcheck: fiber-safe
   sync_cv_.wait(lk, [&] {
     return sync_gen_ != gen || aborted_.load() || revoked_.load();
   });
@@ -187,6 +192,7 @@ RunState::ShrinkResult RunState::shrink_rendezvous(int rank, double my_time) {
     lk.lock();
     maybe_complete_shrink_locked();
   }
+  // Scheduler-internal shrink parking (see above).  collcheck: fiber-safe
   sync_cv_.wait(lk, [&] { return shrink_gen_ != gen || aborted_.load(); });
   if (shrink_gen_ == gen) throw AbortedError{};
   return shrink_result_;

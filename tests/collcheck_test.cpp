@@ -18,6 +18,7 @@
 #include "analyzer.hpp"
 #include "baseline.hpp"
 #include "sarif.hpp"
+#include "schedule.hpp"
 
 namespace {
 
@@ -48,14 +49,67 @@ constexpr const char* kFx = "tools/collcheck/fixtures/";
 TEST(Collcheck, DivergentCollectiveFamily) {
   const auto result = scan_fixture("divergent");
   const std::set<Key> expected = {
+      {"CC-SCHED-DIV", std::string(kFx) + "divergent/bad_direct.cpp", 12},
       {"CC-COLL-DIV", std::string(kFx) + "divergent/bad_direct.cpp", 13},
+      {"CC-SCHED-DIV", std::string(kFx) + "divergent/bad_direct.cpp", 20},
       {"CC-COLL-DIV", std::string(kFx) + "divergent/bad_direct.cpp", 23},
+      {"CC-SCHED-DIV", std::string(kFx) + "divergent/bad_interproc.cpp", 15},
       {"CC-COLL-DIV-CALL", std::string(kFx) + "divergent/bad_interproc.cpp",
        16},
   };
   EXPECT_EQ(keys(result), expected);
   // clean.cpp (unconditional collectives, rank-guarded p2p, inline allow)
   // must contribute nothing — verified by the exact-set match above.
+}
+
+TEST(Collcheck, ScheduleDivergenceFamily) {
+  const auto result = scan_fixture("sched");
+  const std::set<Key> expected = {
+      // bad_div.cpp: mismatched branch schedules + early-return skip.
+      {"CC-SCHED-DIV", std::string(kFx) + "sched/bad_div.cpp", 13},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_div.cpp", 14},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_div.cpp", 16},
+      {"CC-SCHED-DIV", std::string(kFx) + "sched/bad_div.cpp", 22},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_div.cpp", 25},
+      // bad_order.cpp: same multiset, swapped order — direct and via
+      // differently-named helper calls.
+      {"CC-SCHED-ORDER", std::string(kFx) + "sched/bad_order.cpp", 10},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_order.cpp", 11},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_order.cpp", 12},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_order.cpp", 14},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_order.cpp", 15},
+      {"CC-SCHED-ORDER", std::string(kFx) + "sched/bad_order.cpp", 32},
+      {"CC-COLL-DIV-CALL", std::string(kFx) + "sched/bad_order.cpp", 33},
+      {"CC-COLL-DIV-CALL", std::string(kFx) + "sched/bad_order.cpp", 35},
+      // bad_loop.cpp: rank-dependent trip counts around collectives.
+      {"CC-SCHED-LOOP", std::string(kFx) + "sched/bad_loop.cpp", 10},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_loop.cpp", 11},
+      {"CC-SCHED-LOOP", std::string(kFx) + "sched/bad_loop.cpp", 17},
+      {"CC-COLL-DIV", std::string(kFx) + "sched/bad_loop.cpp", 18},
+      // bad_unwind.cpp: collectives on the RankDeadError unwind path,
+      // direct and behind a helper.
+      {"CC-SCHED-UNWIND", std::string(kFx) + "sched/bad_unwind.cpp", 14},
+      {"CC-SCHED-UNWIND", std::string(kFx) + "sched/bad_unwind.cpp", 28},
+  };
+  EXPECT_EQ(keys(result), expected);
+  // clean.cpp (config alternation, schedule-equal arms, order-equal
+  // helpers behind different names, invariant loops, sanctioned recovery
+  // handler) must contribute nothing — exact-set match above.
+}
+
+TEST(Collcheck, FiberReadinessFamily) {
+  const auto result = scan_fixture("fiber");
+  const std::string dir = std::string(kFx) + "fiber/src/simmpi/";
+  const std::set<Key> expected = {
+      {"CC-FIBER-BLOCK", dir + "bad_block.cpp", 24},  // cv_.wait
+      {"CC-FIBER-BLOCK", dir + "bad_block.cpp", 29},  // sleep_for
+      {"CC-FIBER-BLOCK", dir + "bad_block.cpp", 39},  // mutex across barrier
+      {"CC-FIBER-TLS", dir + "bad_tls.cpp", 6},
+      {"CC-FIBER-TLS", dir + "bad_tls.cpp", 9},
+  };
+  EXPECT_EQ(keys(result), expected);
+  // clean.cpp carries the same primitives under `collcheck: fiber-safe`
+  // annotations plus atomic polling — none of it may fire.
 }
 
 TEST(Collcheck, RmaEpochFamily) {
@@ -207,9 +261,12 @@ TEST(Collcheck, LayerTablePinsTheDag) {
 }
 
 TEST(Collcheck, InlineAllowSuppressesSameAndNextLine) {
+  // f demonstrates both placements: a trailing same-line allow on the
+  // branch (CC-SCHED-DIV) and a preceding-line allow on the collective
+  // (CC-COLL-DIV).  g is identical but unannotated, so both rules fire.
   const std::string src =
       "void f(collrep::simmpi::Comm& comm) {\n"
-      "  if (comm.rank() == 0) {\n"
+      "  if (comm.rank() == 0) {  // collcheck:allow(CC-SCHED-DIV)\n"
       "    // collcheck:allow(CC-COLL-DIV)\n"
       "    comm.barrier();\n"
       "  }\n"
@@ -221,9 +278,11 @@ TEST(Collcheck, InlineAllowSuppressesSameAndNextLine) {
       "}\n";
   const auto result =
       collcheck::analyze_sources({{"src/core/allow_demo.cpp", src}});
-  ASSERT_EQ(result.findings.size(), 1u);
-  EXPECT_EQ(result.findings[0].rule, "CC-COLL-DIV");
-  EXPECT_EQ(result.findings[0].line, 9);
+  const std::set<Key> expected = {
+      {"CC-SCHED-DIV", "src/core/allow_demo.cpp", 8},
+      {"CC-COLL-DIV", "src/core/allow_demo.cpp", 9},
+  };
+  EXPECT_EQ(keys(result), expected);
 }
 
 TEST(Collcheck, BaselineParsingAndStaleDetection) {
@@ -323,9 +382,95 @@ TEST(Collcheck, TaintFlowsThroughAssignment) {
       "}\n";
   const auto result =
       collcheck::analyze_sources({{"src/core/taint_demo.cpp", src}});
-  ASSERT_EQ(result.findings.size(), 1u);
-  EXPECT_EQ(result.findings[0].rule, "CC-COLL-DIV");
-  EXPECT_EQ(result.findings[0].line, 5);
+  const std::set<Key> expected = {
+      {"CC-SCHED-DIV", "src/core/taint_demo.cpp", 4},
+      {"CC-COLL-DIV", "src/core/taint_demo.cpp", 5},
+  };
+  EXPECT_EQ(keys(result), expected);
+}
+
+TEST(Collcheck, BaselineFixedPointWithScheduleRules) {
+  // --write-baseline followed by --fail-on-new must be a fixed point:
+  // every finding (including the schedule/fiber families, whose entries
+  // carry fixture paths) suppressed, zero stale entries.  This is the
+  // drift contract scripts/analyze.sh relies on.
+  const auto sched = scan_fixture("sched");
+  const auto fiber = scan_fixture("fiber");
+  std::vector<Finding> findings = sched.findings;
+  findings.insert(findings.end(), fiber.findings.begin(),
+                  fiber.findings.end());
+  ASSERT_FALSE(findings.empty());
+  bool has_sched_rule = false;
+  for (const Finding& f : findings) {
+    if (f.rule.rfind("CC-SCHED-", 0) == 0 ||
+        f.rule.rfind("CC-FIBER-", 0) == 0) {
+      has_sched_rule = true;
+    }
+  }
+  ASSERT_TRUE(has_sched_rule);
+
+  const std::string path = testing::TempDir() + "/collcheck_sched_fp.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    out << collcheck::format_baseline(findings);
+  }
+  std::vector<std::string> errors;
+  const auto baseline = collcheck::load_baseline(path, errors);
+  EXPECT_TRUE(errors.empty());
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(baseline.suppresses(f))
+        << f.rule << " " << f.file << ":" << f.line;
+  }
+  EXPECT_TRUE(baseline.unused().empty());
+  std::remove(path.c_str());
+}
+
+TEST(Collcheck, ScheduleDumpIsByteStableAndCoversEntryPoints) {
+  // The --dump-schedules artifact is a CI drift gate: two analyses of the
+  // same tree must render byte-identical text, and the snapshot must
+  // cover the public entry points named in DESIGN.md §15.
+  const auto first = collcheck::analyze_paths({"src"}, COLLCHECK_REPO_ROOT,
+                                              AnalyzerOptions{});
+  const auto second = collcheck::analyze_paths({"src"}, COLLCHECK_REPO_ROOT,
+                                               AnalyzerOptions{});
+  const std::string a = collcheck::dump_schedules(first.files);
+  const std::string b = collcheck::dump_schedules(second.files);
+  EXPECT_EQ(a, b);
+
+  EXPECT_NE(a.find("entry DUMP_OUTPUT = dump_output"), std::string::npos);
+  EXPECT_NE(a.find("entry checkpoint_now = checkpoint_now"),
+            std::string::npos);
+  EXPECT_NE(a.find("entry recover_world = recover_world"),
+            std::string::npos);
+  EXPECT_NE(a.find("entry repair_replicas = repair_replicas"),
+            std::string::npos);
+  EXPECT_NE(a.find("entry pfs_restore = pfs_restore"), std::string::npos);
+  // The dump is inter-procedural: checkpoint_now's schedule reaches the
+  // recovery unwind handler through shielded_dump_attempt.
+  EXPECT_NE(a.find("catch<simmpi::RankDeadError>( recover_world{"),
+            std::string::npos);
+  // p2p ops are visible in dump renderings (unlike ORDER signatures).
+  EXPECT_NE(a.find("p2p:send_value"), std::string::npos);
+}
+
+TEST(Collcheck, OrderSignatureInlinesHelpersTransparently) {
+  // Two branches calling differently-named helpers with identical
+  // schedules must NOT trip CC-SCHED-ORDER: signatures inline callees
+  // without their names.
+  const std::string src =
+      "void ping(collrep::simmpi::Comm& comm) { comm.barrier(); }\n"
+      "void pong(collrep::simmpi::Comm& comm) { comm.barrier(); }\n"
+      "void route(collrep::simmpi::Comm& comm) {\n"
+      "  if (comm.rank() == 0) {  // collcheck:allow(CC-COLL-DIV-CALL)\n"
+      "    ping(comm);\n"
+      "  } else {\n"
+      "    pong(comm);  // collcheck:allow(CC-COLL-DIV-CALL)\n"
+      "  }\n"
+      "}\n";
+  const auto result =
+      collcheck::analyze_sources({{"src/core/order_demo.cpp", src}});
+  EXPECT_TRUE(result.findings.empty());
 }
 
 }  // namespace

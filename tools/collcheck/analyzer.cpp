@@ -10,6 +10,8 @@
 #include <unordered_set>
 
 #include "dataflow.hpp"
+#include "schedule.hpp"
+#include "taint.hpp"
 #include "tokutil.hpp"
 
 namespace collcheck {
@@ -48,13 +50,6 @@ const std::unordered_set<std::string>& collective_free_names() {
 #define COLLREP_COLLECTIVE_ALIAS(str) str,
 #include "obs/collectives.def"
   };
-  return kNames;
-}
-
-const std::unordered_set<std::string>& rank_source_idents() {
-  static const std::unordered_set<std::string> kNames = {
-      "rank", "rank_", "vrank", "world_rank", "my_rank", "myrank",
-      "self_rank"};
   return kNames;
 }
 
@@ -263,181 +258,7 @@ void extract_functions(FileUnit& unit) {
 }
 
 // ---------------------------------------------------------------------------
-// Rank taint + control-flow regions
-// ---------------------------------------------------------------------------
-
-struct TaintCtx {
-  const Toks* toks = nullptr;
-  std::unordered_set<std::string> tainted_vars;
-  // Parallel to toks, body span only.  Byte-valued rather than
-  // vector<bool>: the bit-proxy specialization trips GCC's
-  // -Wnull-dereference inside libstdc++ when assign() is inlined.
-  std::vector<unsigned char> tainted_at;
-};
-
-// Does the token span [b, e) mention a rank source or a tainted variable?
-[[nodiscard]] bool span_tainted(const TaintCtx& ctx, std::size_t b,
-                                std::size_t e) {
-  const Toks& toks = *ctx.toks;
-  for (std::size_t i = b; i < e && i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokKind::kIdent) continue;
-    if (rank_source_idents().contains(t.text)) return true;
-    if (ctx.tainted_vars.contains(t.text)) return true;
-  }
-  return false;
-}
-
-// Collect variables assigned from rank-derived expressions.  Two passes
-// pick up simple transitive chains (a = comm.rank(); b = a + 1;).
-void collect_tainted_vars(TaintCtx& ctx, std::size_t b, std::size_t e) {
-  const Toks& toks = *ctx.toks;
-  for (int pass = 0; pass < 2; ++pass) {
-    for (std::size_t i = b; i + 1 < e; ++i) {
-      if (toks[i].kind != TokKind::kIdent || is_cpp_keyword(toks[i].text)) {
-        continue;
-      }
-      if (!is_punct(toks[i + 1], "=")) continue;
-      // Exclude compound contexts: member writes (x.y = ...) still taint
-      // nothing we can name simply; plain `ident = expr;` is the pattern.
-      if (i > b && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
-        continue;
-      }
-      const std::size_t end = stmt_end(toks, i + 2, e);
-      if (span_tainted(ctx, i + 2, end)) ctx.tainted_vars.insert(toks[i].text);
-    }
-  }
-}
-
-struct WalkExit {
-  bool ret = false;  // rank-conditional return/throw seen
-  bool brk = false;  // rank-conditional break/continue seen
-};
-
-[[nodiscard]] bool span_has_ident(const Toks& toks, std::size_t b,
-                                  std::size_t e, std::string_view a,
-                                  std::string_view c) {
-  for (std::size_t i = b; i < e && i < toks.size(); ++i) {
-    if (toks[i].kind == TokKind::kIdent && (toks[i].text == a ||
-                                            toks[i].text == c)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// Walk [b, e) marking rank-conditional tokens.  `tainted` is the inherited
-// divergence of this region; `is_loop_body` scopes break/continue
-// escalation.  A rank-conditional region that exits early (return/throw)
-// makes every subsequent statement in the enclosing scopes divergent too
-// (the classic `if (rank != 0) return; bcast(...)` bug).
-WalkExit walk_region(TaintCtx& ctx, std::size_t b, std::size_t e,
-                     bool tainted, bool is_loop_body) {
-  const Toks& toks = *ctx.toks;
-  WalkExit out;
-  std::size_t i = b;
-  bool last_cond_taint = false;  // taint of the most recent if-condition
-  while (i < e) {
-    const Token& t = toks[i];
-    if (tainted && i < ctx.tainted_at.size()) ctx.tainted_at[i] = 1;
-
-    const bool is_if = is_ident(t, "if");
-    const bool is_loop = is_ident(t, "while") || is_ident(t, "for");
-    const bool is_switch = is_ident(t, "switch");
-    if ((is_if || is_loop || is_switch) && i + 1 < e) {
-      std::size_t open = i + 1;
-      // `if constexpr (...)`, `for constexpr` does not exist; skip one
-      // ident between keyword and "(" (constexpr).
-      if (open < e && toks[open].kind == TokKind::kIdent) ++open;
-      if (open >= e || !is_punct(toks[open], "(")) {
-        ++i;
-        continue;
-      }
-      const std::size_t close = match_bracket(toks, open);
-      if (close >= e) {
-        ++i;
-        continue;
-      }
-      const bool cond_taint =
-          tainted || span_tainted(ctx, open + 1, close);
-      if (is_if) last_cond_taint = cond_taint;
-      // Mark the header tokens themselves with the inherited taint only.
-      std::size_t body_start = close + 1;
-      std::size_t body_close;  // one past the region
-      WalkExit sub;
-      if (body_start < e && is_punct(toks[body_start], "{")) {
-        body_close = std::min(match_bracket(toks, body_start), e);
-        sub = walk_region(ctx, body_start + 1, body_close, cond_taint,
-                          is_loop);
-        i = body_close + 1;
-      } else {
-        body_close = stmt_end(toks, body_start, e);
-        sub = walk_region(ctx, body_start, body_close, cond_taint, is_loop);
-        i = body_close + 1;
-      }
-      // Early-exit escalation: only when the condition itself introduced
-      // the divergence at this level.  `throw` deliberately does not count:
-      // an exception aborts the run, so the code after it never executes on
-      // the throwing rank and the collective sequence question is moot
-      // (rank-guarded invariant throws are common and benign).
-      if (cond_taint && !tainted) {
-        if (span_has_ident(toks, body_start, body_close, "return", "return")) {
-          out.ret = true;
-        }
-        if (span_has_ident(toks, body_start, body_close, "break",
-                           "continue")) {
-          out.brk = true;
-        }
-      }
-      if (sub.ret) out.ret = true;
-      if (sub.brk && !is_loop) out.brk = true;  // loops absorb their breaks
-      if (out.ret || (out.brk && is_loop_body)) tainted = true;
-      // `else` clause shares the if-condition's divergence.
-      if (is_if && i < e && is_ident(toks[i], "else")) {
-        std::size_t eb = i + 1;
-        WalkExit esub;
-        if (eb < e && is_punct(toks[eb], "{")) {
-          const std::size_t ec = std::min(match_bracket(toks, eb), e);
-          esub = walk_region(ctx, eb + 1, ec, cond_taint || tainted,
-                             is_loop_body);
-          i = ec + 1;
-        } else if (eb < e && is_ident(toks[eb], "if")) {
-          i = eb;  // else-if: loop handles it; approximate (drops the
-                   // accumulated negation, fine for a linter)
-          continue;
-        } else {
-          const std::size_t ec = stmt_end(toks, eb, e);
-          esub = walk_region(ctx, eb, ec, cond_taint || tainted,
-                             is_loop_body);
-          i = ec + 1;
-        }
-        if (cond_taint && !tainted) {
-          if (esub.ret) out.ret = true;
-          if (esub.brk) out.brk = true;
-        }
-        if (out.ret || (out.brk && is_loop_body)) tainted = true;
-      }
-      continue;
-    }
-
-    if (is_punct(t, "{")) {
-      const std::size_t close = std::min(match_bracket(toks, i), e);
-      const WalkExit sub = walk_region(ctx, i + 1, close, tainted,
-                                       is_loop_body);
-      if (sub.ret) out.ret = true;
-      if (sub.brk) out.brk = true;
-      if (out.ret || (out.brk && is_loop_body)) tainted = true;
-      i = close + 1;
-      continue;
-    }
-    ++i;
-  }
-  (void)last_cond_taint;
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Per-function RMA + collective analysis
+// Per-function RMA + collective analysis (rank taint engine in taint.hpp)
 // ---------------------------------------------------------------------------
 
 struct FnAnalysis {
@@ -890,6 +711,33 @@ const std::vector<RuleInfo>& rule_catalog() {
        "p2p tag expression diverges across ranks",
        "compute tags from protocol constants and the peer id, never from "
        "rank-conditional state"},
+      {kRuleSchedDiv,
+       "rank-dependent branching yields different collective schedules",
+       "make both branches execute the same collective sequence, or hoist "
+       "the collectives out of the rank-dependent region"},
+      {kRuleSchedOrder,
+       "rank-dependent branches execute the same collectives in different "
+       "order",
+       "fix one canonical op order; ranks taking different branches will "
+       "cross-match collectives otherwise"},
+      {kRuleSchedLoop,
+       "collective inside a loop whose trip count is rank-dependent",
+       "derive the trip count from config or an agreed value (allreduce it "
+       "first), never from the local rank"},
+      {kRuleSchedUnwind,
+       "collective on the RankDeadError unwind path before "
+       "shrink/recover_world",
+       "the handler must hand control to the failure protocol first; only "
+       "shrink()/recover_world() re-align survivor schedules"},
+      {kRuleFiberBlock,
+       "OS-blocking primitive (cv wait, sleep, lock held across a blocking "
+       "op) in a sim component",
+       "use sim-aware waits/charged time, or annotate the line with "
+       "'// collcheck: fiber-safe' if it runs outside rank context"},
+      {kRuleFiberTls,
+       "thread_local state in a sim component",
+       "key the state by rank id; thread_local aliases across ranks once "
+       "they share OS threads (or annotate '// collcheck: fiber-safe')"},
   };
   return kCatalog;
 }
@@ -948,6 +796,8 @@ AnalysisResult analyze_sources(
   run_race_rules(model, result.findings);
   run_exc_rules(model, result.findings);
   run_p2p_rules(model, result.findings);
+  run_schedule_rules(result.files, result.findings);
+  run_fiber_rules(model, result.findings);
   apply_inline_allows(result.files, result.findings);
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {

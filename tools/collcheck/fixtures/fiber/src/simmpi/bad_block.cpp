@@ -1,0 +1,43 @@
+// Seeded true positives for CC-FIBER-BLOCK: OS-blocking primitives
+// inside a sim component (the fixture path places this in src/simmpi,
+// which the layering map classifies as simulation code).  Under the
+// planned fiber scheduler these park a whole OS thread and starve every
+// other rank multiplexed onto it.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fiber_fx {
+
+struct Comm {
+  void barrier();
+};
+
+struct ParkedWorker {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+
+  void park() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return ready_; });  // expect CC-FIBER-BLOCK 24
+  }
+};
+
+void sleepy_backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // BLOCK 29
+}
+
+struct LockedSync {
+  std::mutex mu_;
+  int epoch_ = 0;
+
+  void locked_collective(Comm& comm) {
+    std::lock_guard<std::mutex> g(mu_);
+    epoch_ = epoch_ + 1;
+    comm.barrier();  // expect CC-FIBER-BLOCK line 39 (mutex held)
+  }
+};
+
+}  // namespace fiber_fx

@@ -1,0 +1,14 @@
+// Seeded true positives for CC-FIBER-TLS: thread_local state in a sim
+// component aliases across ranks once multiple ranks share one OS
+// thread under the fiber scheduler.
+namespace fiber_fx {
+
+thread_local int scratch_slot = 0;  // expect CC-FIBER-TLS line 6
+
+int bump_hits() {
+  thread_local int hits = 0;  // expect CC-FIBER-TLS line 9
+  hits = hits + 1;
+  return hits;
+}
+
+}  // namespace fiber_fx

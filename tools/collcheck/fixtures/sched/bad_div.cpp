@@ -1,0 +1,28 @@
+// Seeded true positives for CC-SCHED-DIV: rank-dependent branching whose
+// arms run different collective schedules.  Not compiled; scanned by
+// collcheck_test with --include-fixtures.
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sched_fx {
+
+// Both arms run a collective, but not the same one.  The per-call
+// CC-COLL-DIV rule flags each site; the schedule rule flags the branch.
+void mismatched_branches(collrep::simmpi::Comm& comm) {
+  int value = 3;
+  if (comm.rank() == 0) {  // expect CC-SCHED-DIV line 13
+    collrep::simmpi::bcast(comm, value, 0);  // expect CC-COLL-DIV line 14
+  } else {
+    (void)collrep::simmpi::allreduce_sum(comm, value);  // CC-COLL-DIV 16
+  }
+}
+
+// A rank-guarded early return leaves the tail collective single-sided.
+void early_return_skips_tail(collrep::simmpi::Comm& comm) {
+  if (comm.rank() != 0) {  // expect CC-SCHED-DIV line 22
+    return;
+  }
+  comm.barrier();  // expect CC-COLL-DIV line 25
+}
+
+}  // namespace sched_fx

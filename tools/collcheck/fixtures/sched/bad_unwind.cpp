@@ -1,0 +1,33 @@
+// Seeded true positives for CC-SCHED-UNWIND: collective work on the
+// RankDeadError unwind path before the failure protocol (shrink /
+// recover_world) is engaged.  Other ranks may already be parked in the
+// shrink barrier, so these collectives deadlock.
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sched_fx {
+
+void collective_in_handler(collrep::simmpi::Comm& comm) {
+  try {
+    comm.barrier();
+  } catch (const collrep::simmpi::RankDeadError&) {
+    comm.barrier();  // expect CC-SCHED-UNWIND line 14
+    throw;
+  }
+}
+
+void rebuild_groups(collrep::simmpi::Comm& comm) {
+  comm.barrier();
+}
+
+// The unwind collective hides behind a helper call.
+void helper_in_handler(collrep::simmpi::Comm& comm) {
+  try {
+    comm.barrier();
+  } catch (const collrep::simmpi::RankDeadError&) {
+    rebuild_groups(comm);  // expect CC-SCHED-UNWIND line 28
+    throw;
+  }
+}
+
+}  // namespace sched_fx

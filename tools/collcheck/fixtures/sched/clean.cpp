@@ -1,0 +1,73 @@
+// Clean negatives for the CC-SCHED family: config-invariant alternation,
+// schedule-equal rank branches, invariant loops, order-equal helpers
+// behind different names, and a handler that engages recovery before any
+// collective.  collcheck must report nothing here.
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sched_fx {
+
+struct Config {
+  bool use_sum;
+  int rounds;
+};
+
+// Branching on config is rank-invariant: every rank takes the same arm.
+void config_alternation(collrep::simmpi::Comm& comm, const Config& cfg) {
+  int value = 5;
+  if (cfg.use_sum) {
+    (void)collrep::simmpi::allreduce_sum(comm, value);
+  } else {
+    collrep::simmpi::bcast(comm, value, 0);
+  }
+}
+
+// Rank-dependent condition, but both arms run the same schedule.
+void divergent_but_equal(collrep::simmpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // collcheck:allow(CC-COLL-DIV) — schedule-equal arms
+  } else {
+    comm.barrier();  // collcheck:allow(CC-COLL-DIV)
+  }
+}
+
+void sync_via_alpha(collrep::simmpi::Comm& comm) {
+  comm.barrier();
+}
+
+void sync_via_beta(collrep::simmpi::Comm& comm) {
+  comm.barrier();
+}
+
+// Differently-named helpers with identical schedules: the ORDER
+// signature inlines callees transparently, so this must stay quiet.
+void equal_via_helpers(collrep::simmpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    sync_via_alpha(comm);  // collcheck:allow(CC-COLL-DIV-CALL)
+  } else {
+    sync_via_beta(comm);  // collcheck:allow(CC-COLL-DIV-CALL)
+  }
+}
+
+// Loop bound comes from config: the same number of rounds on every rank.
+void invariant_rounds(collrep::simmpi::Comm& comm, const Config& cfg) {
+  for (int i = 0; i < cfg.rounds; ++i) {
+    comm.barrier();
+  }
+}
+
+// The handler hands control to the failure protocol before any
+// collective: the sanctioned recovery shape.
+struct Recovery {
+  int recover_world(collrep::simmpi::Comm& comm);
+};
+
+void recover_properly(collrep::simmpi::Comm& comm, Recovery& recovery) {
+  try {
+    comm.barrier();
+  } catch (const collrep::simmpi::RankDeadError&) {
+    (void)recovery.recover_world(comm);
+  }
+}
+
+}  // namespace sched_fx

@@ -26,8 +26,17 @@ namespace {
   return false;
 }
 
-// Scan a `collcheck:allow(ID[,ID...])` marker inside comment text.
+// Scan a `collcheck:allow(ID[,ID...])` marker inside comment text.  The
+// shorthand `collcheck: fiber-safe` allows the whole CC-FIBER family on
+// that line: the justified "this blocking site runs outside rank context"
+// annotation the fiber-readiness audit looks for.
 void scan_allow(std::string_view comment, int line, LexedFile& out) {
+  if (comment.find("collcheck: fiber-safe") != std::string_view::npos ||
+      comment.find("collcheck:fiber-safe") != std::string_view::npos) {
+    auto& fiber = out.allows[line];
+    fiber.emplace("CC-FIBER-BLOCK");
+    fiber.emplace("CC-FIBER-TLS");
+  }
   constexpr std::string_view kTag = "collcheck:allow(";
   const auto pos = comment.find(kTag);
   if (pos == std::string_view::npos) return;

@@ -9,6 +9,9 @@
 //                        ANY drift: new findings (+) or stale entries (-)
 //   --write-baseline F   write every current finding to F as a baseline
 //   --sarif FILE         also write findings as SARIF 2.1.0
+//   --dump-schedules F   write the canonical per-entry-point collective
+//                        schedules to F ("-" for stdout); byte-stable for
+//                        identical input, so CI can diff schedule drift
 //   --include-fixtures   scan directories named "fixtures" too
 //   --list-rules         print the rule catalog and exit
 //
@@ -24,15 +27,17 @@
 #include "analyzer.hpp"
 #include "baseline.hpp"
 #include "sarif.hpp"
+#include "schedule.hpp"
 
 namespace {
 
-constexpr const char* kVersion = "0.6.0";
+constexpr const char* kVersion = "0.7.0";
 
 int usage(std::ostream& os, int code) {
   os << "usage: collcheck [--repo-root DIR] [--baseline FILE] "
         "[--fail-on-new]\n"
         "                 [--write-baseline FILE] [--sarif FILE]\n"
+        "                 [--dump-schedules FILE]\n"
         "                 [--include-fixtures] [--list-rules] PATH...\n";
   return code;
 }
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string write_baseline_path;
   std::string sarif_path;
+  std::string schedules_path;
   bool fail_on_new = false;
   collcheck::AnalyzerOptions options;
   std::vector<std::string> paths;
@@ -75,6 +81,10 @@ int main(int argc, char** argv) {
       const char* v = need_value("--sarif");
       if (v == nullptr) return usage(std::cerr, 2);
       sarif_path = v;
+    } else if (arg == "--dump-schedules") {
+      const char* v = need_value("--dump-schedules");
+      if (v == nullptr) return usage(std::cerr, 2);
+      schedules_path = v;
     } else if (arg == "--include-fixtures") {
       options.include_fixtures = true;
     } else if (arg == "--list-rules") {
@@ -157,6 +167,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << collcheck::to_sarif(active, kVersion);
+  }
+
+  if (!schedules_path.empty()) {
+    const std::string text = collcheck::dump_schedules(result.files);
+    if (schedules_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream out(schedules_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "collcheck: cannot write schedules to '"
+                  << schedules_path << "'\n";
+        return 2;
+      }
+      out << text;
+    }
   }
 
   const auto stale = baseline.unused();

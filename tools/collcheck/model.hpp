@@ -36,6 +36,14 @@ inline constexpr std::string_view kRuleExcSwallow = "CC-EXC-SWALLOW";
 inline constexpr std::string_view kRuleP2pUnmatched = "CC-P2P-UNMATCHED";
 inline constexpr std::string_view kRuleP2pSelf = "CC-P2P-SELF";
 inline constexpr std::string_view kRuleP2pTagDiv = "CC-P2P-TAGDIV";
+// v3 families (DESIGN.md §15): whole-program collective schedules and the
+// fiber-readiness audit for the coroutine-scheduler refactor.
+inline constexpr std::string_view kRuleSchedDiv = "CC-SCHED-DIV";
+inline constexpr std::string_view kRuleSchedOrder = "CC-SCHED-ORDER";
+inline constexpr std::string_view kRuleSchedLoop = "CC-SCHED-LOOP";
+inline constexpr std::string_view kRuleSchedUnwind = "CC-SCHED-UNWIND";
+inline constexpr std::string_view kRuleFiberBlock = "CC-FIBER-BLOCK";
+inline constexpr std::string_view kRuleFiberTls = "CC-FIBER-TLS";
 
 struct RuleInfo {
   std::string_view id;
